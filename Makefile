@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race fuzz bench experiments report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the two fuzz targets (regex-vs-stdlib and
+# end-to-end PAP equivalence).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCompileAgainstStdlib -fuzztime 30s ./internal/regex/
+	$(GO) test -run xxx -fuzz FuzzParallelEquivalence -fuzztime 30s ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the default reduced scale.
+experiments:
+	$(GO) run ./cmd/papbench -experiment all
+
+report:
+	$(GO) run ./cmd/papbench -experiment all -report report.html
+
+clean:
+	rm -f report.html test_output.txt bench_output.txt

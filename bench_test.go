@@ -1,0 +1,236 @@
+package pap
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, each regenerating its rows through the experiment
+// harness and reporting the headline quantity as a custom metric. These run
+// at reduced scale so `go test -bench=.` completes quickly; use
+// `go run ./cmd/papbench` (optionally with -scale 1 -size1 1048576
+// -size10 10485760) to print the full tables at any scale.
+
+import (
+	"sync"
+	"testing"
+
+	"pap/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns the shared reduced-scale experiment environment. Benchmarks
+// share it so `go test -bench=.` builds each automaton and trace once.
+func env() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Options{
+			Scale:    0.05,
+			Size1MB:  32 << 10,
+			Size10MB: 96 << 10,
+			Seed:     42,
+		})
+	})
+	return benchEnv
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmark characteristics).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			states := 0
+			for _, r := range rows {
+				states += r.States
+			}
+			b.ReportMetric(float64(len(rows)), "benchmarks")
+			b.ReportMetric(float64(states), "total-states")
+		}
+	}
+}
+
+// BenchmarkFig3Ranges regenerates Figure 3 (symbol range profiles).
+func BenchmarkFig3Ranges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			frac := 0.0
+			for _, r := range rows {
+				if r.States > 0 {
+					frac += r.AvgRange / float64(r.States)
+				}
+			}
+			b.ReportMetric(100*frac/float64(len(rows)), "avg-range-%states")
+		}
+	}
+}
+
+// BenchmarkFig8Speedup1MB regenerates the 1 MB panel of Figure 8.
+func BenchmarkFig8Speedup1MB(b *testing.B) {
+	benchFig8(b, experiments.Size1MB)
+}
+
+// BenchmarkFig8Speedup10MB regenerates the 10 MB panel of Figure 8.
+func BenchmarkFig8Speedup10MB(b *testing.B) {
+	benchFig8(b, experiments.Size10MB)
+}
+
+func benchFig8(b *testing.B, size experiments.SizeClass) {
+	for i := 0; i < b.N; i++ {
+		sum, err := env().Fig8(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(sum.Geomean1, "geomean-speedup-1rank")
+			b.ReportMetric(sum.Geomean4, "geomean-speedup-4ranks")
+		}
+	}
+}
+
+// BenchmarkFig9Flows regenerates Figure 9 (flow reduction).
+func BenchmarkFig9Flows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var inRange, packed, active float64
+			for _, r := range rows {
+				inRange += float64(r.FlowsInRange)
+				packed += float64(r.FlowsAfterParent)
+				active += r.AvgActiveFlows
+			}
+			b.ReportMetric(inRange/float64(len(rows)), "avg-flows-in-range")
+			b.ReportMetric(packed/float64(len(rows)), "avg-flows-packed")
+			b.ReportMetric(active/float64(len(rows)), "avg-flows-active")
+		}
+	}
+}
+
+// BenchmarkFig10Switching regenerates Figure 10 (flow switch overhead).
+func BenchmarkFig10Switching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			worst := 0.0
+			for _, r := range rows {
+				if r.OverheadPct > worst {
+					worst = r.OverheadPct
+				}
+			}
+			b.ReportMetric(worst, "worst-switch-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFig11HostDecode regenerates Figure 11 (false-path invalidation
+// time at the host).
+func BenchmarkFig11HostDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sum float64
+			for _, r := range rows {
+				sum += float64(r.Cycles)
+			}
+			b.ReportMetric(sum/float64(len(rows)), "avg-Tcpu-cycles")
+		}
+	}
+}
+
+// BenchmarkFig12Reports regenerates Figure 12 (output report inflation).
+func BenchmarkFig12Reports(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := env().Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			worst := 0.0
+			for _, r := range rows {
+				if r.Increase > worst {
+					worst = r.Increase
+				}
+			}
+			b.ReportMetric(worst, "worst-report-inflation-x")
+		}
+	}
+}
+
+// BenchmarkSwitchSensitivity regenerates the §5.3 context-switch study.
+func BenchmarkSwitchSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := env().SwitchSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(sum.AvgSlowdown2, "avg-loss-2x-%")
+			b.ReportMetric(sum.AvgSlowdown4, "avg-loss-4x-%")
+		}
+	}
+}
+
+// BenchmarkEnergyTransitions regenerates the §5.3 extra-transition study.
+func BenchmarkEnergyTransitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := env().Energy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(sum.Avg, "avg-transition-ratio-x")
+		}
+	}
+}
+
+// BenchmarkSequentialMatch measures the software engine's sequential
+// matching throughput on a compiled ruleset (simulator performance, not a
+// paper figure).
+func BenchmarkSequentialMatch(b *testing.B) {
+	a, err := Compile("bench", []string{"attack", "defen[cs]e", "explo.t", "GET /[a-z]+"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := makeInput(1<<16, 1, "attack", "defence", "GET /admin")
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Match(input)
+	}
+}
+
+// BenchmarkParallelMatch measures the full PAP pipeline (planning, flow
+// simulation, composition) end to end in wall-clock terms.
+func BenchmarkParallelMatch(b *testing.B) {
+	a, err := Compile("bench", []string{"attack", "defen[cs]e", "explo.t", "GET /[a-z]+"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := makeInput(1<<16, 1, "attack", "defence", "GET /admin")
+	cfg := DefaultConfig(4)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.MatchParallel(input, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.Stats.Speedup, "modelled-speedup-x")
+		}
+	}
+}

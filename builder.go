@@ -1,0 +1,105 @@
+package pap
+
+import (
+	"fmt"
+
+	"pap/internal/anml"
+	"pap/internal/nfa"
+)
+
+// StartKind selects when a state self-activates.
+type StartKind int
+
+const (
+	// NoStart: the state only activates via incoming transitions.
+	NoStart StartKind = iota
+	// StartOfData: enabled at input position 0 only (anchored).
+	StartOfData
+	// AllInput: enabled at every position (match anywhere) — the AP's
+	// "start on all input".
+	AllInput
+)
+
+// NoReport marks a non-reporting state in Builder.AddState.
+const NoReport int32 = -1
+
+// StateRef identifies a state within one Builder.
+type StateRef int32
+
+// Builder constructs custom homogeneous automata programmatically — for
+// machines that are not regular expressions (the paper's scope explicitly
+// exceeds regexes: counting lattices, track matchers, decision chains).
+// Symbol sets use ANML syntax: "[abc]", "[a-z]", "[^\\n]", "[\\x00-\\x1f]",
+// or "*" for any symbol.
+//
+//	b := pap.NewBuilder("twoGaps")
+//	s1, _ := b.AddState("[ab]", pap.AllInput, pap.NoReport)
+//	s2, _ := b.AddState("*", pap.NoStart, 7)
+//	b.Connect(s1, s2)
+//	a, err := b.Build()
+type Builder struct {
+	b   *nfa.Builder
+	err error
+}
+
+// NewBuilder returns an empty automaton builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{b: nfa.NewBuilder(name)}
+}
+
+// AddState appends a state matching the ANML symbol set, with the given
+// start kind, reporting code (or NoReport). The first error sticks and is
+// returned by Build.
+func (b *Builder) AddState(symbolSet string, start StartKind, report int32) (StateRef, error) {
+	if b.err != nil {
+		return -1, b.err
+	}
+	cls, err := anml.ParseSymbolSet(symbolSet)
+	if err != nil {
+		b.err = err
+		return -1, err
+	}
+	var flags nfa.Flags
+	switch start {
+	case NoStart:
+	case StartOfData:
+		flags |= nfa.StartOfData
+	case AllInput:
+		flags |= nfa.AllInput
+	default:
+		b.err = fmt.Errorf("pap: unknown start kind %d", start)
+		return -1, b.err
+	}
+	id := b.b.AddState(cls, flags)
+	if report != NoReport {
+		b.b.SetFlags(id, nfa.Report)
+		b.b.SetReportCode(id, report)
+	}
+	return StateRef(id), nil
+}
+
+// Connect adds a transition: when from fires, to becomes enabled for the
+// next symbol.
+func (b *Builder) Connect(from, to StateRef) {
+	if b.err != nil {
+		return
+	}
+	n := StateRef(b.b.Len())
+	if from < 0 || to < 0 || from >= n || to >= n {
+		b.err = fmt.Errorf("pap: Connect(%d, %d) out of range (%d states)", from, to, n)
+		return
+	}
+	b.b.AddEdge(nfa.StateID(from), nfa.StateID(to))
+}
+
+// Build finalizes the automaton.
+func (b *Builder) Build() (*Automaton, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}

@@ -1,0 +1,137 @@
+package pap
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("seq")
+	s1, err := b.AddState("[a]", AllInput, NoReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.AddState("[b-d]", NoStart, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Connect(s1, s2)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Match([]byte("xxacxad"))
+	if len(m) != 2 || m[0].Code != 9 || m[0].Offset != 3 || m[1].Offset != 6 {
+		t.Fatalf("matches = %+v", m)
+	}
+}
+
+func TestBuilderWildcardAndAnchor(t *testing.T) {
+	b := NewBuilder("anchored")
+	s1, _ := b.AddState("[x]", StartOfData, NoReport)
+	s2, _ := b.AddState("*", NoStart, 0)
+	b.Connect(s1, s2)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Match([]byte("xy")); len(got) != 1 || got[0].Offset != 1 {
+		t.Fatalf("matches = %+v", got)
+	}
+	if got := a.Match([]byte("zxy")); len(got) != 0 {
+		t.Fatalf("anchored automaton matched mid-stream: %+v", got)
+	}
+}
+
+func TestBuilderStickyErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	if _, err := b.AddState("not-a-set", AllInput, NoReport); err == nil {
+		t.Fatal("invalid symbol set accepted")
+	}
+	// Error sticks.
+	if _, err := b.AddState("[a]", AllInput, NoReport); err == nil {
+		t.Fatal("error did not stick")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded after error")
+	}
+
+	b2 := NewBuilder("oob")
+	s, _ := b2.AddState("[a]", AllInput, NoReport)
+	b2.Connect(s, s+5)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("out-of-range Connect not caught")
+	}
+
+	b3 := NewBuilder("badstart")
+	if _, err := b3.AddState("[a]", StartKind(99), NoReport); err == nil {
+		t.Fatal("unknown start kind accepted")
+	}
+
+	b4 := NewBuilder("nostart")
+	b4.AddState("[a]", NoStart, 0)
+	if _, err := b4.Build(); err == nil {
+		t.Fatal("automaton with no start states accepted")
+	}
+}
+
+func TestBuilderParallelMatch(t *testing.T) {
+	// A custom lattice built via the public Builder must go through the
+	// full PAP pipeline.
+	b := NewBuilder("custom")
+	prev := StateRef(-1)
+	word := "signal"
+	for i := 0; i < len(word); i++ {
+		kind := NoStart
+		if i == 0 {
+			kind = AllInput
+		}
+		rep := NoReport
+		if i == len(word)-1 {
+			rep = 3
+		}
+		s, err := b.AddState("["+word[i:i+1]+"]", kind, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 {
+			b.Connect(prev, s)
+		}
+		prev = s
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := makeInput(1<<14, 21, "signal")
+	rep, err := a.MatchParallel(input, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stats.Verified || len(rep.Matches) == 0 {
+		t.Fatalf("stats = %+v, matches = %d", rep.Stats, len(rep.Matches))
+	}
+}
+
+func TestBuilderANMLRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	s1, _ := b.AddState("[p]", AllInput, NoReport)
+	s2, _ := b.AddState("[q]", NoStart, 1)
+	b.Connect(s1, s2)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.EncodeANML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := DecodeANML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("zpqz")
+	if len(a2.Match(in)) != len(a.Match(in)) {
+		t.Fatal("ANML round trip changed behaviour")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"pap/internal/experiments"
+)
+
+func tinyEnv() *experiments.Env {
+	return experiments.NewEnv(experiments.Options{
+		Scale:      0.02,
+		Size1MB:    8 << 10,
+		Size10MB:   16 << 10,
+		Seed:       7,
+		Workers:    2,
+		Benchmarks: []string{"ExactMatch", "Bro217"},
+	})
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "fig3", "fig9", "fig10", "fig11", "fig12", "energy", "switch", "ablation", "speculation", "dfa"} {
+		if err := run(tinyEnv(), exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(tinyEnv(), "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	if err := run(tinyEnv(), "fig8"); err != nil {
+		t.Fatal(err)
+	}
+}

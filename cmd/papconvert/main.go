@@ -1,0 +1,110 @@
+// Command papconvert converts automata between the formats this repository
+// speaks: regex rule files, ANML XML, MNRL JSON, and Graphviz DOT, with
+// optional common-prefix compression on the way through.
+//
+// Usage:
+//
+//	papconvert -rules rules.txt -to anml > out.anml
+//	papconvert -from-anml zoo.anml -to mnrl > out.mnrl
+//	papconvert -from-mnrl net.mnrl -to dot | dot -Tsvg > net.svg
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pap"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "pattern file (one regex per line)")
+		fromANML  = flag.String("from-anml", "", "ANML XML input")
+		fromMNRL  = flag.String("from-mnrl", "", "MNRL JSON input")
+		to        = flag.String("to", "", "output format: anml, mnrl, dot")
+		compress  = flag.Bool("compress", false, "apply common-prefix compression")
+	)
+	flag.Parse()
+	if err := run(*rulesPath, *fromANML, *fromMNRL, *to, *compress); err != nil {
+		fmt.Fprintln(os.Stderr, "papconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath, fromANML, fromMNRL, to string, compress bool) error {
+	a, err := load(rulesPath, fromANML, fromMNRL)
+	if err != nil {
+		return err
+	}
+	if compress {
+		a = a.Compress()
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	switch to {
+	case "anml":
+		return a.EncodeANML(out)
+	case "mnrl":
+		return a.EncodeMNRL(out)
+	case "dot":
+		return a.WriteDOT(out)
+	case "":
+		return fmt.Errorf("-to is required (anml, mnrl, dot)")
+	default:
+		return fmt.Errorf("unknown output format %q", to)
+	}
+}
+
+func load(rulesPath, fromANML, fromMNRL string) (*pap.Automaton, error) {
+	sources := 0
+	for _, p := range []string{rulesPath, fromANML, fromMNRL} {
+		if p != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of -rules, -from-anml, -from-mnrl is required")
+	}
+	switch {
+	case fromANML != "":
+		f, err := os.Open(fromANML)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pap.DecodeANML(f)
+	case fromMNRL != "":
+		f, err := os.Open(fromMNRL)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pap.DecodeMNRL(f)
+	default:
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var patterns []string
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			patterns = append(patterns, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if len(patterns) == 0 {
+			return nil, fmt.Errorf("%s: no patterns", rulesPath)
+		}
+		return pap.Compile(rulesPath, patterns)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConvertRulesToFormats(t *testing.T) {
+	rules := write(t, "rules.txt", "abc\nxy+z\n")
+	for _, to := range []string{"anml", "mnrl", "dot"} {
+		if err := run(rules, "", "", to, false); err != nil {
+			t.Fatalf("to %s: %v", to, err)
+		}
+	}
+	if err := run(rules, "", "", "anml", true); err != nil {
+		t.Fatalf("with compression: %v", err)
+	}
+}
+
+func TestConvertANMLToMNRL(t *testing.T) {
+	anmlDoc := `<automata-network id="x">
+  <state-transition-element id="a" symbol-set="[h]" start="all-input">
+    <activate-on-match element="b"/>
+  </state-transition-element>
+  <state-transition-element id="b" symbol-set="[i]">
+    <report-on-match reportcode="1"/>
+  </state-transition-element>
+</automata-network>`
+	p := write(t, "x.anml", anmlDoc)
+	if err := run("", p, "", "mnrl", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	rules := write(t, "rules.txt", "abc\n")
+	if err := run(rules, "", "", "", false); err == nil {
+		t.Error("missing -to accepted")
+	}
+	if err := run(rules, "", "", "yaml", false); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("", "", "", "anml", false); err == nil {
+		t.Error("no source accepted")
+	}
+	if err := run(rules, rules, "", "anml", false); err == nil {
+		t.Error("two sources accepted")
+	}
+	if err := run("", write(t, "bad.anml", "junk"), "", "mnrl", false); err == nil {
+		t.Error("bad ANML accepted")
+	}
+	if err := run("", "", write(t, "bad.mnrl", "junk"), "anml", false); err == nil {
+		t.Error("bad MNRL accepted")
+	}
+}

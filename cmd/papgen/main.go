@@ -1,0 +1,108 @@
+// Command papgen builds a benchmark automaton and emits its structure,
+// DOT rendering, or a synthesized input trace — useful for inspecting the
+// workloads behind the experiments and for feeding paprun.
+//
+// Usage:
+//
+//	papgen -benchmark Snort -stats
+//	papgen -benchmark Levenshtein -dot > lev.dot
+//	papgen -benchmark ExactMatch -trace 1048576 > trace.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pap/internal/anml"
+	"pap/internal/mnrl"
+	"pap/internal/workloads"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "benchmark name (see papbench -list)")
+		scale     = flag.Float64("scale", 0.25, "ruleset scale in (0,1]")
+		seed      = flag.Int64("seed", 42, "random seed")
+		stats     = flag.Bool("stats", false, "print automaton statistics")
+		dot       = flag.Bool("dot", false, "write Graphviz DOT to stdout")
+		anmlOut   = flag.Bool("anml", false, "write the automaton as ANML XML to stdout")
+		mnrlOut   = flag.Bool("mnrl", false, "write the automaton as MNRL JSON to stdout")
+		trace     = flag.Int("trace", 0, "write a trace of this many bytes to stdout")
+		ranges    = flag.Bool("ranges", false, "print the per-symbol range profile")
+	)
+	flag.Parse()
+
+	if err := run(*benchmark, *scale, *seed, *stats, *dot, *anmlOut, *mnrlOut, *trace, *ranges); err != nil {
+		fmt.Fprintln(os.Stderr, "papgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchmark string, scale float64, seed int64, stats, dot, anmlOut, mnrlOut bool, trace int, ranges bool) error {
+	if benchmark == "" {
+		return fmt.Errorf("-benchmark is required (see papbench -list)")
+	}
+	spec, err := workloads.Get(benchmark)
+	if err != nil {
+		return err
+	}
+	n, err := spec.Build(scale, seed)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	did := false
+	if stats {
+		did = true
+		st := n.ComputeStats()
+		fmt.Fprintf(out, "%s (%s): %s\n", spec.Name, spec.Suite, spec.Description)
+		fmt.Fprintf(out, "states        %d (paper: %d)\n", st.States, spec.PaperStates)
+		fmt.Fprintf(out, "transitions   %d\n", st.Edges)
+		fmt.Fprintf(out, "components    %d (paper: %d)\n", st.CCs, spec.PaperCCs)
+		fmt.Fprintf(out, "reporting     %d\n", st.Reporting)
+		fmt.Fprintf(out, "always-active %d\n", st.AllInput)
+		rs := n.RangeStatsAll()
+		fmt.Fprintf(out, "range         min %d / avg %.1f / max %d (paper cut-symbol range: %d)\n",
+			rs.Min, rs.Avg, rs.Max, spec.PaperRange)
+	}
+	if ranges {
+		did = true
+		for s := 0; s < 256; s++ {
+			if r := n.RangeSize(byte(s)); r > 0 {
+				fmt.Fprintf(out, "%3d %q range %d\n", s, byte(s), r)
+			}
+		}
+	}
+	if dot {
+		did = true
+		if err := n.WriteDOT(out); err != nil {
+			return err
+		}
+	}
+	if anmlOut {
+		did = true
+		if err := anml.Encode(out, n); err != nil {
+			return err
+		}
+	}
+	if mnrlOut {
+		did = true
+		if err := mnrl.Encode(out, n); err != nil {
+			return err
+		}
+	}
+	if trace > 0 {
+		did = true
+		if _, err := out.Write(spec.Trace(n, trace, seed)); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -stats, -dot, -anml, -ranges, or -trace N")
+	}
+	return nil
+}

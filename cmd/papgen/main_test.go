@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunStats(t *testing.T) {
+	if err := run("Bro217", 0.02, 1, true, false, false, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunANML(t *testing.T) {
+	if err := run("Bro217", 0.02, 1, false, false, true, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMNRL(t *testing.T) {
+	if err := run("Bro217", 0.02, 1, false, false, false, true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRanges(t *testing.T) {
+	if err := run("ExactMatch", 0.02, 1, false, false, false, false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0.1, 1, true, false, false, false, 0, false); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+	if err := run("NoSuch", 0.1, 1, true, false, false, false, 0, false); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run("Bro217", 0, 1, true, false, false, false, 0, false); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run("Bro217", 0.1, 1, false, false, false, false, 0, false); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Fuzzy DNA search: find approximate occurrences of DNA probes in a
+// synthetic genome using Hamming- and Levenshtein-distance automata — the
+// paper's bioinformatics scenario (ANMLZoo's Hamming and Levenshtein
+// benchmarks; the (L, d) motif problems of Roy & Aluru).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pap"
+)
+
+func main() {
+	probes := []string{
+		"ACGTACGTACGTACGTACGTACGT", // 24-mer probes
+		"TTGACCTTGACCTTGACCTTGACC",
+		"GGCATGGCATGGCATGGCATGGCA",
+	}
+
+	genome := makeGenome(1<<18, probes)
+	fmt.Printf("genome: %d bases, %d probes of length %d\n",
+		len(genome), len(probes), len(probes[0]))
+
+	// Hamming distance 3: substitutions only.
+	ham, err := pap.Hamming("probes-hamming", probes, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := ham.Stats()
+	hrep, err := ham.MatchParallel(genome, pap.DefaultConfig(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHamming(d=3): %d states; %d hits; %.1fx modelled speedup "+
+		"(ideal %.0fx, %.1f avg flows)\n",
+		hs.States, len(hrep.Matches), hrep.Stats.Speedup,
+		hrep.Stats.IdealSpeedup, hrep.Stats.AvgActiveFlows)
+
+	// Levenshtein distance 2: substitutions, insertions and deletions.
+	lev, err := pap.Levenshtein("probes-lev", probes, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls := lev.Stats()
+	lrep, err := lev.MatchParallel(genome, pap.DefaultConfig(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Levenshtein(d=2): %d states; %d hits; %.1fx modelled speedup "+
+		"(ideal %.0fx, %.1f avg flows)\n",
+		ls.States, len(lrep.Matches), lrep.Stats.Speedup,
+		lrep.Stats.IdealSpeedup, lrep.Stats.AvgActiveFlows)
+
+	perProbe := map[int32]int{}
+	for _, m := range lrep.Matches {
+		perProbe[m.Code]++
+	}
+	fmt.Println("\napproximate occurrences per probe (edit distance <= 2):")
+	for i, p := range probes {
+		fmt.Printf("  %6d  %s\n", perProbe[int32(i)], p)
+	}
+	fmt.Printf("\nboth runs verified exact against sequential matching: %v\n",
+		hrep.Stats.Verified && lrep.Stats.Verified)
+}
+
+// makeGenome emits random DNA with mutated copies of the probes planted:
+// substitutions, and occasionally an insertion or deletion, so Hamming and
+// Levenshtein automata find overlapping but different hit sets.
+func makeGenome(size int, probes []string) []byte {
+	rng := rand.New(rand.NewSource(42))
+	const bases = "ACGT"
+	out := make([]byte, 0, size)
+	for len(out) < size {
+		if rng.Intn(300) == 0 {
+			probe := []byte(probes[rng.Intn(len(probes))])
+			mutated := mutate(rng, probe)
+			out = append(out, mutated...)
+			continue
+		}
+		out = append(out, bases[rng.Intn(4)])
+	}
+	return out[:size]
+}
+
+func mutate(rng *rand.Rand, probe []byte) []byte {
+	const bases = "ACGT"
+	out := append([]byte(nil), probe...)
+	// 0-3 substitutions.
+	for i := rng.Intn(4); i > 0; i-- {
+		out[rng.Intn(len(out))] = bases[rng.Intn(4)]
+	}
+	switch rng.Intn(4) {
+	case 0: // one deletion
+		i := rng.Intn(len(out))
+		out = append(out[:i], out[i+1:]...)
+	case 1: // one insertion
+		i := rng.Intn(len(out))
+		out = append(out[:i], append([]byte{bases[rng.Intn(4)]}, out[i:]...)...)
+	}
+	return out
+}

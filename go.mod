@@ -1,0 +1,3 @@
+module pap
+
+go 1.22

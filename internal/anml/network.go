@@ -1,0 +1,249 @@
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"pap/internal/apnet"
+)
+
+// Full-network ANML: unlike Decode (pure STE → NFA, what the parallel
+// pipeline executes), DecodeNetwork also accepts counter and boolean
+// elements, producing an apnet.Network for sequential matching.
+
+type xmlFullNetwork struct {
+	XMLName  xml.Name     `xml:"automata-network"`
+	ID       string       `xml:"id,attr"`
+	Name     string       `xml:"name,attr"`
+	STEs     []xmlSTE     `xml:"state-transition-element"`
+	Counters []xmlCounter `xml:"counter"`
+	Ors      []xmlGate    `xml:"or"`
+	Ands     []xmlGate    `xml:"and"`
+	Nots     []xmlGate    `xml:"inverter"`
+}
+
+type xmlCounter struct {
+	ID       string        `xml:"id,attr"`
+	Target   uint32        `xml:"at-target,attr"`
+	Mode     string        `xml:"mode,attr"` // "latch" or "pulse" (default)
+	Activate []xmlActivate `xml:"activate-on-target"`
+	Report   *xmlReport    `xml:"report-on-target"`
+}
+
+type xmlGate struct {
+	ID       string        `xml:"id,attr"`
+	Activate []xmlActivate `xml:"activate-on-high"`
+	Report   *xmlReport    `xml:"report-on-high"`
+}
+
+// DecodeNetwork parses an ANML document, including counter and boolean
+// elements, into an executable element network. Edge semantics: an
+// activate-on-match/target/high edge whose target is an STE becomes a
+// next-cycle activation; one whose target is a gate becomes a
+// combinational gate input; one whose target is a counter feeds its count
+// port — ANML expresses the reset port as a ":rst" suffix on the element
+// reference (e.g. element="c1:rst").
+func DecodeNetwork(r io.Reader) (*apnet.Network, error) {
+	var doc xmlFullNetwork
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	name := doc.Name
+	if name == "" {
+		name = doc.ID
+	}
+	if name == "" {
+		name = "anml"
+	}
+	b := apnet.NewBuilder(name)
+	ids := map[string]apnet.ElementID{}
+	addID := func(id string, el apnet.ElementID) error {
+		if id == "" {
+			return fmt.Errorf("anml: element without id")
+		}
+		if _, dup := ids[id]; dup {
+			return fmt.Errorf("anml: duplicate element id %q", id)
+		}
+		ids[id] = el
+		return nil
+	}
+
+	for _, ste := range doc.STEs {
+		cls, err := ParseSymbolSet(ste.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("anml: element %q: %w", ste.ID, err)
+		}
+		start := apnet.NoStart
+		switch ste.Start {
+		case "", "none":
+		case "start-of-data":
+			start = apnet.StartOfData
+		case "all-input":
+			start = apnet.AllInput
+		default:
+			return nil, fmt.Errorf("anml: element %q: unknown start kind %q", ste.ID, ste.Start)
+		}
+		el := b.AddSTE(cls, start)
+		if err := addID(ste.ID, el); err != nil {
+			return nil, err
+		}
+		if ste.Report != nil {
+			code, err := parseCode(ste.Report.Code)
+			if err != nil {
+				return nil, fmt.Errorf("anml: element %q: %w", ste.ID, err)
+			}
+			b.SetReport(el, code)
+		}
+	}
+	for _, c := range doc.Counters {
+		if c.Target == 0 {
+			return nil, fmt.Errorf("anml: counter %q needs at-target >= 1", c.ID)
+		}
+		mode := apnet.CountPulse
+		switch c.Mode {
+		case "", "pulse":
+		case "latch":
+			mode = apnet.CountLatch
+		default:
+			return nil, fmt.Errorf("anml: counter %q: unknown mode %q", c.ID, c.Mode)
+		}
+		el := b.AddCounter(c.Target, mode)
+		if err := addID(c.ID, el); err != nil {
+			return nil, err
+		}
+		if c.Report != nil {
+			code, err := parseCode(c.Report.Code)
+			if err != nil {
+				return nil, fmt.Errorf("anml: counter %q: %w", c.ID, err)
+			}
+			b.SetReport(el, code)
+		}
+	}
+	gate := func(g xmlGate, op apnet.GateOp) error {
+		el := b.AddGate(op)
+		if err := addID(g.ID, el); err != nil {
+			return err
+		}
+		if g.Report != nil {
+			code, err := parseCode(g.Report.Code)
+			if err != nil {
+				return fmt.Errorf("anml: gate %q: %w", g.ID, err)
+			}
+			b.SetReport(el, code)
+		}
+		return nil
+	}
+	for _, g := range doc.Ors {
+		if err := gate(g, apnet.GateOR); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range doc.Ands {
+		if err := gate(g, apnet.GateAND); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range doc.Nots {
+		if err := gate(g, apnet.GateNOT); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wire edges now that every element exists.
+	connect := func(fromID string, targets []xmlActivate) error {
+		from := ids[fromID]
+		for _, a := range targets {
+			ref, port := splitPort(a.Element)
+			to, ok := ids[ref]
+			if !ok {
+				return fmt.Errorf("anml: element %q activates unknown element %q", fromID, ref)
+			}
+			switch {
+			case port == "rst":
+				b.ConnectReset(from, to)
+			case isGateRef(doc, ref):
+				b.ConnectGate(from, to)
+			case isCounterRef(doc, ref):
+				b.ConnectCount(from, to)
+			default:
+				b.Activate(from, to)
+			}
+		}
+		return nil
+	}
+	for _, ste := range doc.STEs {
+		if err := connect(ste.ID, ste.Activate); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range doc.Counters {
+		if err := connect(c.ID, c.Activate); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range doc.Ors {
+		if err := connect(g.ID, g.Activate); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range doc.Ands {
+		if err := connect(g.ID, g.Activate); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range doc.Nots {
+		if err := connect(g.ID, g.Activate); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func parseCode(s string) (int32, error) {
+	if s == "" {
+		return 0, nil
+	}
+	var code int32
+	if _, err := fmt.Sscanf(s, "%d", &code); err != nil {
+		return 0, fmt.Errorf("bad reportcode %q", s)
+	}
+	return code, nil
+}
+
+func splitPort(ref string) (id, port string) {
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == ':' {
+			return ref[:i], ref[i+1:]
+		}
+	}
+	return ref, ""
+}
+
+func isGateRef(doc xmlFullNetwork, id string) bool {
+	for _, g := range doc.Ors {
+		if g.ID == id {
+			return true
+		}
+	}
+	for _, g := range doc.Ands {
+		if g.ID == id {
+			return true
+		}
+	}
+	for _, g := range doc.Nots {
+		if g.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func isCounterRef(doc xmlFullNetwork, id string) bool {
+	for _, c := range doc.Counters {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package anml
+
+import (
+	"strings"
+	"testing"
+
+	"pap/internal/apnet"
+)
+
+const counterANML = `<automata-network id="thresh">
+  <state-transition-element id="a" symbol-set="[a]" start="all-input">
+    <activate-on-match element="b"/>
+  </state-transition-element>
+  <state-transition-element id="b" symbol-set="[b]">
+    <activate-on-match element="c1"/>
+  </state-transition-element>
+  <counter id="c1" at-target="2" mode="pulse">
+    <report-on-target reportcode="5"/>
+  </counter>
+</automata-network>`
+
+func TestDecodeNetworkCounter(t *testing.T) {
+	n, err := DecodeNetwork(strings.NewReader(counterANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 3 || n.Counters() != 1 {
+		t.Fatalf("len=%d counters=%d", n.Len(), n.Counters())
+	}
+	// "ab" completes at offsets 1 and 4: the counter pulses on the 2nd.
+	rs := apnet.Run(n, []byte("abxab"))
+	if len(rs) != 1 || rs[0].Offset != 4 || rs[0].Code != 5 {
+		t.Fatalf("reports = %+v, want one at offset 4 code 5", rs)
+	}
+}
+
+const resetANML = `<automata-network id="rst">
+  <state-transition-element id="a" symbol-set="[a]" start="all-input">
+    <activate-on-match element="c1"/>
+  </state-transition-element>
+  <state-transition-element id="z" symbol-set="[z]" start="all-input">
+    <activate-on-match element="c1:rst"/>
+  </state-transition-element>
+  <counter id="c1" at-target="2">
+    <report-on-target reportcode="1"/>
+  </counter>
+</automata-network>`
+
+func TestDecodeNetworkResetPort(t *testing.T) {
+	n, err := DecodeNetwork(strings.NewReader(resetANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := apnet.Run(n, []byte("azaa"))
+	// 'a' at 0 counts 1; 'z' resets; 'a','a' count to 2 -> fire at 3.
+	if len(rs) != 1 || rs[0].Offset != 3 {
+		t.Fatalf("reports = %+v, want one at offset 3", rs)
+	}
+}
+
+const gateANML = `<automata-network id="g">
+  <state-transition-element id="s1" symbol-set="[xa]" start="all-input">
+    <activate-on-match element="g1"/>
+  </state-transition-element>
+  <state-transition-element id="s2" symbol-set="[xb]" start="all-input">
+    <activate-on-match element="g1"/>
+  </state-transition-element>
+  <and id="g1">
+    <report-on-high reportcode="2"/>
+  </and>
+</automata-network>`
+
+func TestDecodeNetworkGate(t *testing.T) {
+	n, err := DecodeNetwork(strings.NewReader(gateANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := apnet.Run(n, []byte("abx"))
+	if len(rs) != 1 || rs[0].Offset != 2 || rs[0].Code != 2 {
+		t.Fatalf("reports = %+v, want one at offset 2", rs)
+	}
+}
+
+func TestDecodeNetworkErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad-target": `<automata-network id="x">
+			<state-transition-element id="a" symbol-set="[a]" start="all-input">
+				<activate-on-match element="nope"/>
+			</state-transition-element>
+		</automata-network>`,
+		"zero-counter": `<automata-network id="x">
+			<state-transition-element id="a" symbol-set="[a]" start="all-input">
+				<activate-on-match element="c"/>
+			</state-transition-element>
+			<counter id="c" at-target="0"/>
+		</automata-network>`,
+		"bad-mode": `<automata-network id="x">
+			<state-transition-element id="a" symbol-set="[a]" start="all-input">
+				<activate-on-match element="c"/>
+			</state-transition-element>
+			<counter id="c" at-target="2" mode="sticky"/>
+		</automata-network>`,
+		"dup": `<automata-network id="x">
+			<state-transition-element id="a" symbol-set="[a]" start="all-input"/>
+			<counter id="a" at-target="1"/>
+		</automata-network>`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeNetwork(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+// TestDecodeNetworkAcceptsPureSTE: DecodeNetwork subsumes Decode for pure
+// STE documents.
+func TestDecodeNetworkAcceptsPureSTE(t *testing.T) {
+	n, err := DecodeNetwork(strings.NewReader(sampleANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := apnet.Run(n, []byte("zzabczz"))
+	if len(rs) != 1 || rs[0].Offset != 4 || rs[0].Code != 7 {
+		t.Fatalf("reports = %+v", rs)
+	}
+}

@@ -1,0 +1,351 @@
+// Package apnet models the AP's full element network: STEs augmented with
+// the counter and programmable boolean elements the D480 provides (§2.1 of
+// the paper: 768 counters and 2304 boolean elements per device "to augment
+// pattern matching functionality"). The pure-STE subset is what packages
+// nfa/engine/core execute and parallelize; counters and booleans are
+// supported here for *sequential* matching only — their stateful, non-
+// monotone semantics break the additivity PAP's enumeration relies on, so
+// parallel composition would be unsound (see docs/CORRECTNESS.md).
+//
+// Cycle semantics (one 8-bit symbol per cycle):
+//
+//  1. Every enabled STE whose symbol set contains the input fires.
+//  2. Signals propagate combinationally through boolean gates (the gate
+//     graph must be acyclic); a counter's output is high in the same cycle
+//     its count reaches the target.
+//  3. Elements with a high output activate their targets' enables for the
+//     next cycle, and reporting elements emit a report event.
+//  4. Counters latch: on a high count input the count increments at the
+//     end of the cycle; a high reset input clears it (reset wins). In
+//     Latch mode the output stays high once reached; in Pulse mode it is
+//     high only in cycles where the count input arrives at/past target.
+package apnet
+
+import (
+	"fmt"
+
+	"pap/internal/nfa"
+)
+
+// ElementID identifies an element within one Network.
+type ElementID int32
+
+// Kind discriminates element types.
+type Kind uint8
+
+const (
+	// KindSTE is a state-transition element (symbol matcher).
+	KindSTE Kind = iota
+	// KindCounter counts activations of its count port up to a target.
+	KindCounter
+	// KindGate is a programmable boolean element.
+	KindGate
+)
+
+// GateOp selects a boolean element's function.
+type GateOp uint8
+
+const (
+	GateOR GateOp = iota
+	GateAND
+	GateNOT // single input
+	GateNOR
+	GateNAND
+)
+
+// CounterMode selects output behaviour at the target count.
+type CounterMode uint8
+
+const (
+	// CountLatch: output stays high once the target is reached (until
+	// reset).
+	CountLatch CounterMode = iota
+	// CountPulse: output is high only in cycles whose count input lands
+	// at or past the target.
+	CountPulse
+)
+
+// StartKind mirrors the NFA start flags for STEs.
+type StartKind uint8
+
+const (
+	NoStart StartKind = iota
+	StartOfData
+	AllInput
+)
+
+// element is the internal description of one node.
+type element struct {
+	kind Kind
+
+	// STE fields.
+	label nfa.Class
+	start StartKind
+
+	// Counter fields.
+	target uint32
+	mode   CounterMode
+
+	// Gate fields.
+	op GateOp
+
+	report     bool
+	reportCode int32
+
+	// activate targets (STE enables for the next cycle).
+	activate []ElementID
+	// gateInputs: elements feeding this gate (combinational).
+	gateInputs []ElementID
+	// countInputs / resetInputs: elements feeding a counter's two ports.
+	countInputs []ElementID
+	resetInputs []ElementID
+}
+
+// Network is a built element network. Create with NewBuilder.
+type Network struct {
+	name  string
+	elems []element
+	// gateOrder is a topological order of gate elements.
+	gateOrder []ElementID
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Len returns the number of elements.
+func (n *Network) Len() int { return len(n.elems) }
+
+// Counters returns the number of counter elements (capacity checks against
+// ap.CountersPerDevice are the caller's concern).
+func (n *Network) Counters() int {
+	c := 0
+	for _, e := range n.elems {
+		if e.kind == KindCounter {
+			c++
+		}
+	}
+	return c
+}
+
+// Builder incrementally constructs a Network.
+type Builder struct {
+	name  string
+	elems []element
+	err   error
+}
+
+// NewBuilder returns an empty network builder.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+func (b *Builder) add(e element) ElementID {
+	b.elems = append(b.elems, e)
+	return ElementID(len(b.elems) - 1)
+}
+
+// AddSTE appends a state-transition element.
+func (b *Builder) AddSTE(label nfa.Class, start StartKind) ElementID {
+	return b.add(element{kind: KindSTE, label: label, start: start})
+}
+
+// AddCounter appends a counter with the given target count and mode.
+func (b *Builder) AddCounter(target uint32, mode CounterMode) ElementID {
+	if target == 0 {
+		b.fail(fmt.Errorf("apnet: counter target must be >= 1"))
+	}
+	return b.add(element{kind: KindCounter, target: target, mode: mode})
+}
+
+// AddGate appends a boolean element.
+func (b *Builder) AddGate(op GateOp) ElementID {
+	return b.add(element{kind: KindGate, op: op})
+}
+
+// SetReport marks an element as reporting with the given code.
+func (b *Builder) SetReport(id ElementID, code int32) {
+	if !b.check(id) {
+		return
+	}
+	b.elems[id].report = true
+	b.elems[id].reportCode = code
+}
+
+// Activate wires from's output to STE to's enable (next cycle).
+func (b *Builder) Activate(from, to ElementID) {
+	if !b.check(from) || !b.check(to) {
+		return
+	}
+	if b.elems[to].kind != KindSTE {
+		b.fail(fmt.Errorf("apnet: activate target %d is not an STE (use ConnectGate/ConnectCount)", to))
+		return
+	}
+	b.elems[from].activate = append(b.elems[from].activate, to)
+}
+
+// ConnectGate wires from's output into gate's input (same cycle).
+func (b *Builder) ConnectGate(from, gate ElementID) {
+	if !b.check(from) || !b.check(gate) {
+		return
+	}
+	if b.elems[gate].kind != KindGate {
+		b.fail(fmt.Errorf("apnet: element %d is not a gate", gate))
+		return
+	}
+	b.elems[gate].gateInputs = append(b.elems[gate].gateInputs, from)
+}
+
+// ConnectCount wires from's output into counter's count port.
+func (b *Builder) ConnectCount(from, counter ElementID) {
+	b.connectCounter(from, counter, false)
+}
+
+// ConnectReset wires from's output into counter's reset port.
+func (b *Builder) ConnectReset(from, counter ElementID) {
+	b.connectCounter(from, counter, true)
+}
+
+func (b *Builder) connectCounter(from, counter ElementID, reset bool) {
+	if !b.check(from) || !b.check(counter) {
+		return
+	}
+	if b.elems[counter].kind != KindCounter {
+		b.fail(fmt.Errorf("apnet: element %d is not a counter", counter))
+		return
+	}
+	if reset {
+		b.elems[counter].resetInputs = append(b.elems[counter].resetInputs, from)
+	} else {
+		b.elems[counter].countInputs = append(b.elems[counter].countInputs, from)
+	}
+}
+
+func (b *Builder) check(id ElementID) bool {
+	if b.err != nil {
+		return false
+	}
+	if id < 0 || int(id) >= len(b.elems) {
+		b.fail(fmt.Errorf("apnet: element id %d out of range (%d elements)", id, len(b.elems)))
+		return false
+	}
+	return true
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and finalizes the network: gates must form a DAG (their
+// combinational evaluation order is computed here), gates need inputs, NOT
+// gates exactly one, and at least one STE must be a start element.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.elems) == 0 {
+		return nil, fmt.Errorf("apnet %q: no elements", b.name)
+	}
+	starts := 0
+	for i, e := range b.elems {
+		switch e.kind {
+		case KindSTE:
+			if e.start != NoStart {
+				starts++
+			}
+		case KindGate:
+			if len(e.gateInputs) == 0 {
+				return nil, fmt.Errorf("apnet %q: gate %d has no inputs", b.name, i)
+			}
+			if e.op == GateNOT && len(e.gateInputs) != 1 {
+				return nil, fmt.Errorf("apnet %q: NOT gate %d needs exactly one input", b.name, i)
+			}
+		case KindCounter:
+			if len(e.countInputs) == 0 {
+				return nil, fmt.Errorf("apnet %q: counter %d has no count inputs", b.name, i)
+			}
+		}
+	}
+	if starts == 0 {
+		return nil, fmt.Errorf("apnet %q: no start STEs", b.name)
+	}
+	n := &Network{name: b.name, elems: b.elems}
+	order, err := n.topoGates()
+	if err != nil {
+		return nil, err
+	}
+	n.gateOrder = order
+	return n, nil
+}
+
+// topoGates orders gate elements so every gate's gate-inputs precede it;
+// cycles among gates are an error (combinational loop).
+func (n *Network) topoGates() ([]ElementID, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(n.elems))
+	var order []ElementID
+	var visit func(id ElementID) error
+	visit = func(id ElementID) error {
+		if n.elems[id].kind != KindGate || color[id] == black {
+			return nil
+		}
+		if color[id] == grey {
+			return fmt.Errorf("apnet %q: combinational loop through gate %d", n.name, id)
+		}
+		color[id] = grey
+		for _, in := range n.elems[id].gateInputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		order = append(order, id)
+		return nil
+	}
+	for i := range n.elems {
+		if err := visit(ElementID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Element is a read-only view of one network element, for encoders and
+// inspection tools.
+type Element struct {
+	Kind       Kind
+	Label      nfa.Class
+	Start      StartKind
+	Target     uint32
+	Mode       CounterMode
+	Op         GateOp
+	Report     bool
+	ReportCode int32
+	Activate   []ElementID
+	GateInputs []ElementID
+	CountFrom  []ElementID
+	ResetFrom  []ElementID
+}
+
+// Element returns the description of element id. The contained slices are
+// owned by the network and must not be modified.
+func (n *Network) Element(id ElementID) Element {
+	e := &n.elems[id]
+	return Element{
+		Kind:       e.kind,
+		Label:      e.label,
+		Start:      e.start,
+		Target:     e.target,
+		Mode:       e.mode,
+		Op:         e.op,
+		Report:     e.report,
+		ReportCode: e.reportCode,
+		Activate:   e.activate,
+		GateInputs: e.gateInputs,
+		CountFrom:  e.countInputs,
+		ResetFrom:  e.resetInputs,
+	}
+}

@@ -1,0 +1,197 @@
+package apnet
+
+// Engine executes an element network sequentially, one symbol per cycle.
+// Not safe for concurrent use.
+type Engine struct {
+	n *Network
+	// enabled[e]: STE e is enabled for the current cycle.
+	enabled []bool
+	// nextEnabled is built during Step.
+	nextEnabled []bool
+	// out[e]: element e's output signal in the current cycle.
+	out []bool
+	// count[e]: counter state.
+	count []uint32
+	// reached[e]: latch-mode counter has hit its target.
+	reached []bool
+}
+
+// Report is one output event of the network.
+type Report struct {
+	Offset  int64
+	Element ElementID
+	Code    int32
+}
+
+// NewEngine returns an engine at the network's start configuration.
+func NewEngine(n *Network) *Engine {
+	e := &Engine{
+		n:           n,
+		enabled:     make([]bool, n.Len()),
+		nextEnabled: make([]bool, n.Len()),
+		out:         make([]bool, n.Len()),
+		count:       make([]uint32, n.Len()),
+		reached:     make([]bool, n.Len()),
+	}
+	e.Reset()
+	return e
+}
+
+// Reset returns to the start configuration: start-of-data and all-input
+// STEs enabled, counters cleared.
+func (e *Engine) Reset() {
+	for i := range e.enabled {
+		el := &e.n.elems[i]
+		e.enabled[i] = el.kind == KindSTE && el.start != NoStart
+		e.count[i] = 0
+		e.reached[i] = false
+	}
+}
+
+// Step consumes one input symbol; emit (may be nil) receives the cycle's
+// report events.
+func (e *Engine) Step(sym byte, offset int64, emit func(Report)) {
+	n := e.n
+	// Phase 1: STE firing.
+	for i := range n.elems {
+		el := &n.elems[i]
+		switch el.kind {
+		case KindSTE:
+			e.out[i] = e.enabled[i] && el.label.Test(sym)
+		default:
+			e.out[i] = false
+		}
+	}
+	// Phase 2a: counters. A counter's output this cycle reflects this
+	// cycle's count input (it can reach the target "live"). Inputs to
+	// counters are STE outputs or other counters' previous-latch state;
+	// gates may also feed counters, but gate evaluation may in turn read
+	// counter outputs, so we evaluate counters fed only by STEs first,
+	// then gates in topological order, then counters fed by gates.
+	gateFed := make(map[ElementID]bool)
+	for i := range n.elems {
+		el := &n.elems[i]
+		if el.kind != KindCounter {
+			continue
+		}
+		fed := false
+		for _, in := range append(append([]ElementID{}, el.countInputs...), el.resetInputs...) {
+			if n.elems[in].kind == KindGate {
+				fed = true
+			}
+		}
+		if fed {
+			gateFed[ElementID(i)] = true
+			continue
+		}
+		e.stepCounter(ElementID(i))
+	}
+	// Phase 2b: gates in topological order (inputs: STE outputs, counter
+	// outputs computed above, earlier gates).
+	for _, g := range n.gateOrder {
+		el := &n.elems[g]
+		high := 0
+		for _, in := range el.gateInputs {
+			if e.out[in] {
+				high++
+			}
+		}
+		switch el.op {
+		case GateOR:
+			e.out[g] = high > 0
+		case GateAND:
+			e.out[g] = high == len(el.gateInputs)
+		case GateNOT:
+			e.out[g] = high == 0
+		case GateNOR:
+			e.out[g] = high == 0
+		case GateNAND:
+			e.out[g] = high < len(el.gateInputs)
+		}
+	}
+	// Phase 2c: gate-fed counters.
+	for i := range n.elems {
+		if gateFed[ElementID(i)] {
+			e.stepCounter(ElementID(i))
+		}
+	}
+	// Phase 3: reports and next-cycle activation.
+	for i := range e.nextEnabled {
+		e.nextEnabled[i] = false
+	}
+	for i := range n.elems {
+		if !e.out[i] {
+			continue
+		}
+		el := &n.elems[i]
+		if el.report && emit != nil {
+			emit(Report{Offset: offset, Element: ElementID(i), Code: el.reportCode})
+		}
+		for _, t := range el.activate {
+			e.nextEnabled[t] = true
+		}
+	}
+	// All-input STEs re-enable every cycle.
+	for i := range n.elems {
+		el := &n.elems[i]
+		if el.kind == KindSTE && el.start == AllInput {
+			e.nextEnabled[i] = true
+		}
+	}
+	e.enabled, e.nextEnabled = e.nextEnabled, e.enabled
+}
+
+// stepCounter updates one counter's state for this cycle and sets its
+// output signal.
+func (e *Engine) stepCounter(id ElementID) {
+	el := &e.n.elems[id]
+	cnt := false
+	for _, in := range el.countInputs {
+		if e.out[in] {
+			cnt = true
+			break
+		}
+	}
+	rst := false
+	for _, in := range el.resetInputs {
+		if e.out[in] {
+			rst = true
+			break
+		}
+	}
+	switch {
+	case rst:
+		e.count[id] = 0
+		e.reached[id] = false
+		e.out[id] = false
+	case cnt:
+		if e.count[id] < el.target {
+			e.count[id]++
+		}
+		hit := e.count[id] >= el.target
+		if hit {
+			e.reached[id] = true
+		}
+		if el.mode == CountLatch {
+			e.out[id] = e.reached[id]
+		} else {
+			e.out[id] = hit
+		}
+	default:
+		if el.mode == CountLatch {
+			e.out[id] = e.reached[id]
+		} else {
+			e.out[id] = false
+		}
+	}
+}
+
+// Run executes the network over the whole input and returns all reports.
+func Run(n *Network, input []byte) []Report {
+	e := NewEngine(n)
+	var out []Report
+	for i, sym := range input {
+		e.Step(sym, int64(i), func(r Report) { out = append(out, r) })
+	}
+	return out
+}

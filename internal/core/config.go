@@ -1,0 +1,186 @@
+// Package core implements the Parallel Automata Processor (PAP): the
+// enumerative parallelization of NFA execution on the Micron AP described
+// in Subramaniyan & Das, ISCA 2017.
+//
+// The pipeline (paper §3.5, Figure 7):
+//
+//	preprocessing: range profiling → cut-symbol choice → enumeration units
+//	               (common-parent groups, §3.3.2) → CC-aware flow packing
+//	               (§3.3.1) → State Vector Cache contents
+//	runtime:       per-segment time-division-multiplexed flow execution with
+//	               deactivation checks (§3.3.4), convergence checks (§3.3.3)
+//	               and Flow Invalidation Vectors from preceding segments
+//	               (§3.4), then host-side composition of true-flow reports.
+//
+// Run both executes the automaton functionally (producing exactly the
+// sequential report set; this is checked) and models AP cycle costs with
+// the published timing constants, yielding the speedups of Figure 8 and the
+// overhead breakdowns of Figures 9-12.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"pap/internal/ap"
+)
+
+// Config controls planning, execution, and the timing model. The zero
+// value is not valid; start from DefaultConfig.
+type Config struct {
+	// Ranks selects the board size (1..4). The paper evaluates 1 and 4.
+	Ranks int
+
+	// TDMQuantum is k, the number of symbols each flow processes before a
+	// context switch (§3.2). Larger quanta amortize switching; smaller
+	// quanta deactivate false flows sooner.
+	TDMQuantum int
+
+	// ConvergenceEvery is the number of TDM steps between convergence
+	// checks (§3.3.3; the paper invokes them every ten TDM steps).
+	ConvergenceEvery int
+
+	// SwitchCycles is the flow context-switch cost in symbol cycles
+	// (default ap.FlowSwitchCycles = 3; §5.3 studies 2× and 4×).
+	SwitchCycles int
+
+	// Utilization is the STE placement density passed to ap.Place.
+	Utilization float64
+
+	// HalfCoresOverride, when > 0, forces the per-replica footprint instead
+	// of deriving it from the state count (Table 1 footprints reflect the
+	// proprietary place&route, which deviates from pure counting for some
+	// benchmarks, e.g. SPM).
+	HalfCoresOverride int
+
+	// MaxSegments, when > 0, caps the number of input segments below the
+	// board limit.
+	MaxSegments int
+
+	// CutSymbol, when >= 0, forces the partition symbol instead of
+	// profiling the input for a frequent low-range symbol (§3.1).
+	CutSymbol int
+
+	// Workers bounds simulator goroutines used to execute flows of one
+	// segment concurrently. It affects wall-clock simulation speed only,
+	// never modelled AP cycles. Default: GOMAXPROCS.
+	Workers int
+
+	// Speculate replaces enumeration with speculative execution (the
+	// paper's §6 future-work direction): each segment predicts that its
+	// boundary carries no enumeration activity and runs only the ASG flow;
+	// mispredicted segments re-execute with the true start states once the
+	// truth chain delivers them. Exactness is preserved. See
+	// internal/core/speculate.go and the Speculation experiment.
+	Speculate bool
+
+	// AbsorbDeactivation kills a flow whose enumeration activity has been
+	// absorbed by the always-active baseline: at that instant its full
+	// hardware vector equals the ASG flow's, and equal vectors evolve
+	// identically forever. On the real machine this happens naturally —
+	// the ASG flow is an SVC entry like any other, so the §3.3.3 pairwise
+	// convergence checks merge absorbed flows into it. Default true
+	// (paper-faithful); disable to study zero-mask-only deactivation.
+	AbsorbDeactivation bool
+
+	// Ablation switches (used by the design-choice benchmarks).
+	DisableCCMerge      bool // one flow per enumeration unit
+	DisableParentMerge  bool // one unit per range state
+	DisableConvergence  bool // skip §3.3.3 checks
+	DisableDeactivation bool // skip §3.3.4 checks
+	DisableFIV          bool // never send Flow Invalidation Vectors
+}
+
+// DefaultConfig returns the paper's operating point for the given number
+// of ranks.
+func DefaultConfig(ranks int) Config {
+	return Config{
+		Ranks:              ranks,
+		TDMQuantum:         64,
+		ConvergenceEvery:   10,
+		SwitchCycles:       ap.FlowSwitchCycles,
+		Utilization:        1.0,
+		CutSymbol:          -1,
+		Workers:            runtime.GOMAXPROCS(0),
+		AbsorbDeactivation: true,
+	}
+}
+
+// validate normalises and checks the configuration.
+func (c *Config) validate() error {
+	if c.Ranks < 1 || c.Ranks > ap.MaxRanks {
+		return fmt.Errorf("core: Ranks = %d out of [1,%d]", c.Ranks, ap.MaxRanks)
+	}
+	if c.TDMQuantum < 1 {
+		return fmt.Errorf("core: TDMQuantum = %d must be >= 1", c.TDMQuantum)
+	}
+	if c.ConvergenceEvery < 1 {
+		return fmt.Errorf("core: ConvergenceEvery = %d must be >= 1", c.ConvergenceEvery)
+	}
+	if c.SwitchCycles < 0 {
+		return fmt.Errorf("core: SwitchCycles = %d must be >= 0", c.SwitchCycles)
+	}
+	if c.Utilization <= 0 || c.Utilization > 1 {
+		return fmt.Errorf("core: Utilization = %v out of (0,1]", c.Utilization)
+	}
+	if c.CutSymbol > 255 {
+		return fmt.Errorf("core: CutSymbol = %d out of [-1,255]", c.CutSymbol)
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Host-side cost model, in AP symbol cycles (7.5 ns each), for the false
+// path decoding of §3.4 (Figure 11). The host transfers one state vector
+// per device, scans it, walks the flow table, and runs the per-unit subset
+// checks that identify true flows; the same pass assembles the FIV and the
+// Boolean array used to filter the output event buffer.
+const (
+	// svScanCycles is the host time to interpret one transferred state
+	// vector ("another few tens of symbol cycles", §3.4).
+	svScanCycles = 60
+	// flowTableCycles is charged per SVC entry visited.
+	flowTableCycles = 2
+	// unitCheckDiv divides the (units × flows) subset-check work done in
+	// the overlapped phase, and the per-unit table lookups of the serial
+	// phase: both are 64-bit vectorised on the host.
+	unitCheckDiv = 64
+	// eventDecodeCycles is charged per output-buffer entry parsed, in both
+	// the sequential baseline and PAP (§4.1: post-processing accounted in
+	// both).
+	eventDecodeCycles = 2
+)
+
+// The host work for one finished segment splits into two parts that the
+// timeline treats differently (§3.4, Figure 6):
+//
+//   - hostParallelCycles: transferring and scanning the segment's state
+//     vectors and parsing its output events. This starts as soon as the
+//     segment finishes and overlaps both other segments' decodes (the host
+//     has many cores) and remaining AP processing.
+//   - hostSerialCycles: the truth-propagation step, which depends on the
+//     previous segment's truth and therefore chains serially. Because each
+//     next-segment unit lies in exactly one connected component, its subset
+//     test against every candidate flow vector can be precomputed during
+//     the overlapped phase; the serial step only selects the true flow per
+//     component, looks up the precomputed unit answers, and emits the
+//     Boolean array + FIV — per-flow table work plus vectorised lookups.
+func hostParallelCycles(devices int, events int64, units, flows int) ap.Cycles {
+	if devices < 1 {
+		devices = 1
+	}
+	return ap.Cycles(devices*(ap.SVTransferCycles+svScanCycles)) +
+		ap.Cycles(events*eventDecodeCycles) +
+		ap.Cycles(units*flows/unitCheckDiv)
+}
+
+func hostSerialCycles(units, flows int) ap.Cycles {
+	return ap.Cycles(flows*flowTableCycles + units/unitCheckDiv)
+}
+
+// hostDecodeCycles is the total Tcpu for one segment (Figure 11).
+func hostDecodeCycles(devices, units, flows int) ap.Cycles {
+	return hostParallelCycles(devices, 0, units, flows) + hostSerialCycles(units, flows)
+}

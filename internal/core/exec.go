@@ -1,0 +1,389 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"pap/internal/ap"
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// attribEntry maps reports of a flow in one connected component to the
+// enumeration unit that caused them, from input offset From onward. Entries
+// with Unit == -1 mark always-true activity (the golden flow of segment 1
+// and the ASG flow). Convergence merges append the absorbed flow's entries
+// to the survivor with From set to the merge offset (§3.3.3).
+type attribEntry struct {
+	CC   int32
+	Unit int // index into the segment's SymbolPlan.Units; -1 = always true
+	From int64
+}
+
+// flowRun is the runtime state of one flow of one segment.
+type flowRun struct {
+	id      int
+	asg     bool // flow 0: ASG flow (or the golden flow of segment 1)
+	alive   bool
+	merged  bool // absorbed by convergence (results continue in survivor)
+	svcID   ap.FlowID
+	attrib  []attribEntry
+	reports []engine.Report
+	symbols int64 // symbols actually processed (early kills process fewer)
+	trans   int64
+}
+
+// segmentResult aggregates one segment's functional and timing outcomes.
+type segmentResult struct {
+	Index      int
+	Start, End int
+	Sym        byte // boundary symbol that defined this segment's plan
+	InitFlows  int  // flows at segment start (incl. ASG/golden)
+
+	Cycles       ap.Cycles // busy time on this segment's half-cores
+	SwitchCycles ap.Cycles
+	HostCycles   ap.Cycles // Tcpu: decode + FIV construction (Figure 11)
+	KnownAt      ap.Cycles // wall time when this segment's truth is known
+
+	Rounds        int
+	FlowRounds    int64     // Σ alive flows over rounds (avg active = /Rounds)
+	Mispredicted  bool      // speculation only: boundary was not idle
+	RerunCycles   ap.Cycles // speculation only: misprediction penalty
+	Deactivations int
+	Convergences  int
+	FIVKills      int
+	FIVApplied    bool
+	ConvCompares  int64 // comparator accesses (overlapped, §3.3.3)
+	EventsEmitted int64 // all output-buffer entries, true and false paths
+	Transitions   int64 // successor traversals (energy proxy, §5.3)
+
+	flows    []*flowRun
+	svc      *ap.SVC // flow context store (one SVC per replica)
+	unitTrue []bool  // truth of this segment's units at its start boundary
+
+	mu sync.Mutex // guards Deactivations during round-0 parallel probes
+}
+
+// deactivationProbe is the spacing of the extra early deactivation checks
+// the paper inserts before the first TDM step completes (§3.3.4: "many
+// flows get deactivated within processing few symbols").
+const deactivationProbe = 16
+
+// snapshot is one recorded ASG frontier during round 0.
+type snapshot struct {
+	after    int // symbols into the round
+	fp       uint64
+	frontier []nfa.StateID // sorted
+}
+
+// runSegment executes one segment's flows under TDM, applying deactivation,
+// convergence, and (unless disabled) the Flow Invalidation Vector that
+// arrives at wall-clock cycle fivAt carrying the truth in seg.unitTrue.
+func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
+	cfg := p.Cfg
+	asgFlow := seg.flows[0]
+
+	workers := cfg.Workers
+	if workers > len(seg.flows) {
+		workers = len(seg.flows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*engine.Sparse, workers)
+	for i := range engines {
+		engines[i] = engine.NewSparse(p.NFA)
+	}
+
+	pos := seg.Start
+	round := 0
+	fivApplied := cfg.DisableFIV
+	for pos < seg.End {
+		k := cfg.TDMQuantum
+		if seg.End-pos < k {
+			k = seg.End - pos
+		}
+		var live []*flowRun
+		var symsBefore int64
+		for _, f := range seg.flows {
+			if f.alive {
+				live = append(live, f)
+				symsBefore += f.symbols
+			}
+		}
+		seg.Rounds++
+		seg.FlowRounds += int64(len(live))
+		if len(live) > 1 {
+			seg.SwitchCycles += ap.Cycles(cfg.SwitchCycles * len(live))
+			seg.Cycles += ap.Cycles(cfg.SwitchCycles * len(live))
+		}
+
+		// The ASG/golden flow runs first each round; in round 0 it records
+		// the probe snapshots the other flows are compared against.
+		asgTrace := p.runFlowRound(seg, asgFlow, input, engines[0], pos, k, round == 0, nil)
+
+		rest := live[1:]
+		if len(rest) > 0 {
+			var wg sync.WaitGroup
+			work := make(chan *flowRun, len(rest))
+			for _, f := range rest {
+				work <- f
+			}
+			close(work)
+			nw := workers
+			if nw > len(rest) {
+				nw = len(rest)
+			}
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(e *engine.Sparse) {
+					defer wg.Done()
+					for f := range work {
+						p.runFlowRound(seg, f, input, e, pos, k, round == 0, asgTrace)
+					}
+				}(engines[w])
+			}
+			wg.Wait()
+		}
+
+		pos += k
+		// TDM: the half-core processes each alive flow's k symbols in
+		// turn, so the round's busy time is the sum of symbols actually
+		// processed (early-killed flows stop short).
+		var symsAfter int64
+		for _, f := range live {
+			symsAfter += f.symbols
+		}
+		seg.Cycles += ap.Cycles(symsAfter - symsBefore)
+
+		// Deactivation sweep at the context switch (§3.3.4): a flow whose
+		// enumeration activity has died (zero-mask compare on the state
+		// vector, always-active states excepted) is unproductive; its
+		// continuation is the baseline, which the always-true ASG flow
+		// reports. With AbsorbDeactivation, activity absorbed *into* the
+		// baseline also kills the flow: its full vector then equals the
+		// ASG flow's and the two evolve identically forever.
+		if !cfg.DisableDeactivation && asgFlow.asg {
+			asgCtx, _ := seg.svc.Load(asgFlow.svcID)
+			for _, f := range seg.flows[1:] {
+				if !f.alive {
+					continue
+				}
+				ctx, _ := seg.svc.Load(f.svcID)
+				if len(ctx) == 0 ||
+					(cfg.AbsorbDeactivation && subsetOf(ctx, asgCtx)) {
+					f.alive = false
+					seg.Deactivations++
+				}
+			}
+		}
+
+		// Convergence checks every ConvergenceEvery TDM steps (§3.3.3);
+		// compares run on the SVC comparator, overlapped with symbol
+		// processing, so they cost no cycles but are counted.
+		round++
+		if !cfg.DisableConvergence && round%cfg.ConvergenceEvery == 0 {
+			p.convergeFlows(seg, int64(pos))
+		}
+
+		// Release the SVC entries of flows that died this round (round-0
+		// probe kills happen on worker goroutines, which must not touch
+		// the allocator; the bookkeeping lands here).
+		for _, f := range seg.flows {
+			if !f.alive && seg.svc.Valid(f.svcID) {
+				seg.svc.Invalidate(f.svcID)
+			}
+		}
+
+		// Flow Invalidation Vector: once the previous segment's truth is
+		// known (and transferred), false flows are killed (§3.4).
+		if !fivApplied && seg.Cycles >= fivAt {
+			fivApplied = true
+			seg.FIVApplied = true
+			for _, f := range seg.flows[1:] {
+				if f.alive && !anyAttribTrue(f.attrib, seg.unitTrue) {
+					f.alive = false
+					seg.FIVKills++
+				}
+			}
+		}
+	}
+	// Hardware-faithful totals: on the AP every alive flow re-fires the
+	// always-enabled baseline each cycle, so the baseline's transitions and
+	// report events are duplicated across flows (the simulator computes
+	// them once, in the ASG flow — see engine.SetBaseline). Scale the
+	// baseline share by the time-averaged alive-flow count.
+	var enumTrans, enumEvents int64
+	for _, f := range seg.flows[1:] {
+		enumTrans += f.trans
+		enumEvents += int64(len(f.reports))
+	}
+	dup := float64(seg.FlowRounds) / float64(seg.Rounds)
+	seg.Transitions = enumTrans + int64(float64(asgFlow.trans)*dup)
+	seg.EventsEmitted = enumEvents + int64(float64(len(asgFlow.reports))*dup)
+}
+
+// runFlowRound advances one flow by up to k symbols starting at pos, using
+// (and then saving back to the flow's context) the given engine — exactly
+// an SVC context switch. For the ASG flow in round 0 it records and returns
+// probe snapshots; for other flows in round 0 it compares against the
+// provided snapshots and kills the flow at the first probe where it has
+// fully converged onto the baseline.
+func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e *engine.Sparse,
+	pos, k int, firstRound bool, asgTrace []snapshot) []snapshot {
+
+	// The ASG/golden flow simulates the shared baseline (all-input states
+	// firing every cycle); enumeration flows track only their seed-derived
+	// activity — the union of the two is the flow's hardware state vector
+	// (see engine.SetBaseline). Contexts live in the segment's State
+	// Vector Cache; this load/run/save is exactly an AP flow switch.
+	ctx, _ := seg.svc.Load(f.svcID)
+	e.SetBaseline(f.asg)
+	e.Reset(ctx)
+	t0 := e.Transitions()
+	emit := func(r engine.Report) { f.reports = append(f.reports, r) }
+	var trace []snapshot
+	isASG := f.asg && f.id == 0
+	probe := 0
+	for i := 0; i < k; i++ {
+		e.Step(input[pos+i], int64(pos+i), emit)
+		f.symbols++
+		if !firstRound || (i+1)%deactivationProbe != 0 {
+			continue
+		}
+		if isASG {
+			trace = append(trace, snapshot{
+				after:    i + 1,
+				fp:       e.Fingerprint(),
+				frontier: sortedIDs(e.Frontier()),
+			})
+			continue
+		}
+		if !p.Cfg.DisableDeactivation && probe < len(asgTrace) && asgTrace[probe].after == i+1 {
+			s := asgTrace[probe]
+			probe++
+			dead := e.FrontierLen() == 0
+			if !dead && p.Cfg.AbsorbDeactivation {
+				// The flow's hardware vector equals the ASG flow's exactly
+				// when its enumeration activity is inside the baseline's.
+				dead = subsetOf(sortedIDs(e.Frontier()), s.frontier)
+			}
+			if dead {
+				f.alive = false
+				seg.mu.Lock()
+				seg.Deactivations++
+				seg.mu.Unlock()
+				break
+			}
+		} else {
+			probe++
+		}
+	}
+	seg.svc.Save(f.svcID, sortedIDs(e.Frontier()), e.Fingerprint())
+	f.trans += e.Transitions() - t0
+	return trace
+}
+
+// convergeFlows merges flows with identical state vectors (§3.3.3). The
+// survivor inherits the absorbed flows' attribution from the merge offset
+// onward, so composition can still credit their units with the shared
+// continuation.
+func (p *Plan) convergeFlows(seg *segmentResult, off int64) {
+	groups := map[uint64][]*flowRun{}
+	for _, f := range seg.flows[1:] {
+		if f.alive {
+			fp := seg.svc.Fingerprint(f.svcID)
+			groups[fp] = append(groups[fp], f)
+			seg.ConvCompares++ // one comparator access per vector visited
+		}
+	}
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		survivor := g[0]
+		sctx, _ := seg.svc.Load(survivor.svcID)
+		for _, f := range g[1:] {
+			seg.ConvCompares++
+			ctx, _ := seg.svc.Load(f.svcID)
+			if !equalContexts(ctx, sctx) {
+				continue // fingerprint collision: vectors differ, keep both
+			}
+			f.alive = false
+			f.merged = true
+			seg.svc.Invalidate(f.svcID)
+			seg.Convergences++
+			for _, a := range f.attrib {
+				survivor.attrib = append(survivor.attrib, attribEntry{CC: a.CC, Unit: a.Unit, From: off})
+			}
+		}
+	}
+}
+
+// subsetOf reports whether sorted slice a is contained in sorted slice b.
+func subsetOf(a, b []nfa.StateID) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+func equalContexts(a, b []nfa.StateID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedIDs(ids []nfa.StateID) []nfa.StateID {
+	out := append([]nfa.StateID(nil), ids...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// anyAttribTrue reports whether any attribution entry of a flow references
+// a true unit (or is always-true).
+func anyAttribTrue(attrib []attribEntry, unitTrue []bool) bool {
+	for _, a := range attrib {
+		if a.Unit == -1 || (a.Unit >= 0 && a.Unit < len(unitTrue) && unitTrue[a.Unit]) {
+			return true
+		}
+	}
+	return false
+}
+
+// attribTrue reports whether a report in component cc at offset off is
+// covered by a true attribution entry. Always-true entries (Unit == -1)
+// apply to every component when their CC is -1 (the ASG/golden flows).
+func attribTrue(attrib []attribEntry, unitTrue []bool, cc int32, off int64) bool {
+	for _, a := range attrib {
+		if a.From > off {
+			continue
+		}
+		if a.Unit == -1 {
+			if a.CC == -1 || a.CC == cc {
+				return true
+			}
+			continue
+		}
+		if a.CC == cc && a.Unit < len(unitTrue) && unitTrue[a.Unit] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pap/internal/nfa"
+)
+
+// planFromSeed builds a random automaton and a symbol plan from quick's
+// fuzz values.
+func planFromSeed(seed int64, sym byte, ablateParent, ablateCC bool) (*nfa.NFA, *SymbolPlan) {
+	rng := rand.New(rand.NewSource(seed))
+	n := randomNFA(rng, 3+rng.Intn(40))
+	cfg := DefaultConfig(1)
+	cfg.DisableParentMerge = ablateParent
+	cfg.DisableCCMerge = ablateCC
+	return n, buildSymbolPlan(n, sym, cfg)
+}
+
+// TestQuickFlowPackingInvariants checks, for random automata and symbols:
+//  1. every flow contains at most one unit per connected component (the
+//     property that makes per-CC report attribution unambiguous);
+//  2. unit seeds are exactly covered by the symbol's range;
+//  3. every unit is assigned to exactly one flow;
+//  4. flow count equals the largest per-CC unit count (packing is tight).
+func TestQuickFlowPackingInvariants(t *testing.T) {
+	f := func(seed int64, sym byte, ablateParent bool) bool {
+		n, sp := planFromSeed(seed, sym%4+'a', ablateParent, false)
+
+		inRange := map[nfa.StateID]bool{}
+		for _, q := range n.Range(sym%4 + 'a') {
+			inRange[q] = true
+		}
+
+		// (2) seeds within range.
+		for _, u := range sp.Units {
+			for _, q := range u.Seed {
+				if !inRange[q] {
+					return false
+				}
+			}
+		}
+
+		// (1) one unit per CC per flow; (3) exact cover.
+		assigned := make([]int, len(sp.Units))
+		perCC := map[int32]int{}
+		for _, fl := range sp.Flows {
+			seen := map[int32]bool{}
+			for _, ui := range fl.Units {
+				cc := sp.Units[ui].CC
+				if seen[cc] {
+					return false
+				}
+				seen[cc] = true
+				assigned[ui]++
+			}
+		}
+		for _, c := range assigned {
+			if c != 1 {
+				return false
+			}
+		}
+
+		// (4) tight packing.
+		for _, u := range sp.Units {
+			perCC[u.CC]++
+		}
+		max := 0
+		for _, c := range perCC {
+			if c > max {
+				max = c
+			}
+		}
+		return len(sp.Flows) == max && sp.FlowsAfterParent == len(sp.Flows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnitsCoverRange: the union of unit seeds equals the range — no
+// possible start state is lost (completeness of enumeration).
+func TestQuickUnitsCoverRange(t *testing.T) {
+	f := func(seed int64, symRaw byte, ablateParent bool) bool {
+		sym := symRaw%4 + 'a'
+		n, sp := planFromSeed(seed, sym, ablateParent, false)
+		covered := map[nfa.StateID]bool{}
+		for _, u := range sp.Units {
+			for _, q := range u.Seed {
+				covered[q] = true
+			}
+		}
+		for _, q := range n.Range(sym) {
+			if !covered[q] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnitsSingleCC: every unit's seed stays inside one component.
+func TestQuickUnitsSingleCC(t *testing.T) {
+	f := func(seed int64, symRaw byte) bool {
+		sym := symRaw%4 + 'a'
+		n, sp := planFromSeed(seed, sym, false, false)
+		for _, u := range sp.Units {
+			for _, q := range u.Seed {
+				if n.CCOf(q) != u.CC {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoCCMergeIsOnePerFlow: with CC merging ablated, each unit gets
+// its own flow.
+func TestQuickNoCCMergeIsOnePerFlow(t *testing.T) {
+	f := func(seed int64, symRaw byte) bool {
+		sym := symRaw%4 + 'a'
+		_, sp := planFromSeed(seed, sym, false, true)
+		if len(sp.Flows) != len(sp.Units) {
+			return false
+		}
+		for i, fl := range sp.Flows {
+			if len(fl.Units) != 1 || fl.Units[0] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCutPositions: cuts are strictly increasing interior positions,
+// and every exact cut lands after the chosen symbol.
+func TestQuickCutPositions(t *testing.T) {
+	f := func(raw []byte, segsRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		segments := 2 + int(segsRaw%16)
+		sym := raw[0]
+		cuts, exact := cutPositions(raw, sym, segments)
+		prev := 0
+		landed := 0
+		for _, c := range cuts {
+			if c <= prev || c >= len(raw) {
+				return false
+			}
+			if raw[c-1] == sym {
+				landed++
+			}
+			prev = c
+		}
+		return landed >= exact // exact counts only window hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

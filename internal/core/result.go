@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+
+	"pap/internal/ap"
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// SegmentStats is the exported per-segment view of one PAP execution.
+type SegmentStats struct {
+	Index         int
+	Start, End    int
+	BoundarySym   byte
+	InitFlows     int
+	Rounds        int
+	AvgFlows      float64
+	Deactivations int
+	Convergences  int
+	FIVKills      int
+	FIVApplied    bool
+	Cycles        ap.Cycles
+	SwitchCycles  ap.Cycles
+	HostCycles    ap.Cycles
+	KnownAt       ap.Cycles
+	Events        int64
+	Transitions   int64
+	Mispredicted  bool      // speculation only
+	RerunCycles   ap.Cycles // speculation only
+}
+
+// Result is the outcome of one PAP execution: the composed (exact) report
+// set plus every modelled metric of the paper's evaluation.
+type Result struct {
+	Plan   *Plan
+	Golden engine.Result
+
+	// Reports is the composed, deduplicated output — provably equal to the
+	// sequential run's (Correct is the check's outcome).
+	Reports []engine.Report
+	Correct bool
+
+	BaselineCycles ap.Cycles // sequential AP: one symbol per cycle + host report scan
+	TotalCycles    ap.Cycles // PAP completion time (after the golden-execution bound)
+	RawTotalCycles ap.Cycles // before the never-worse clamp
+	Clamped        bool      // true when golden execution won the race (§5.1)
+	Speedup        float64
+	IdealSpeedup   float64 // number of parallel segments
+
+	Segments []SegmentStats
+
+	// Figure 9: time-averaged number of active flows across enumeration
+	// segments.
+	AvgActiveFlows float64
+	// Figure 10: flow switching cycles as a percentage of segment cycles.
+	SwitchOverheadPct float64
+	// Figure 11: average host-side false-path decode + FIV cost.
+	AvgHostCycles ap.Cycles
+	// Figure 12: emitted output events (all flows) / true output events.
+	TotalEvents    int64
+	ReportIncrease float64
+	// §5.3 energy proxy: PAP transitions per symbol / sequential
+	// transitions per symbol.
+	TransitionRatio float64
+
+	// CapacityNote is non-empty when the flow plan exceeds the SVC limit
+	// (the run still simulates, as the paper's pre-optimization analyses do).
+	CapacityNote string
+
+	// MispredictedSegments counts segments that needed a speculative
+	// re-run (Config.Speculate only).
+	MispredictedSegments int
+}
+
+// Run plans and executes PAP for one automaton and input, returning the
+// composed reports and all modelled metrics.
+func Run(n *nfa.NFA, input []byte, cfg Config) (*Result, error) {
+	plan, err := NewPlan(n, input, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(input)
+}
+
+// Baseline returns the sequential AP cycle cost for an input and its
+// golden run: one symbol per cycle plus host event decoding (§4.1 accounts
+// report post-processing in both baseline and PAP).
+func Baseline(inputLen int, events int) ap.Cycles {
+	return ap.Cycles(inputLen) + ap.Cycles(events*eventDecodeCycles)
+}
+
+// Execute runs the plan against the input it was built for.
+func (p *Plan) Execute(input []byte) (*Result, error) {
+	res := &Result{Plan: p, IdealSpeedup: float64(p.Segments)}
+	golden, bounds := engine.RunWithBoundaries(p.NFA, input, p.Cuts)
+	res.Golden = golden
+	res.BaselineCycles = Baseline(len(input), len(golden.Reports))
+	if err := p.CheckCapacity(); err != nil {
+		res.CapacityNote = err.Error()
+	}
+
+	if p.Segments == 1 {
+		// Nothing to parallelize: PAP degenerates to the baseline.
+		res.Reports = engine.DedupeReports(append([]engine.Report(nil), golden.Reports...))
+		res.Correct = true
+		res.TotalCycles, res.RawTotalCycles = res.BaselineCycles, res.BaselineCycles
+		res.Speedup, res.IdealSpeedup = 1, 1
+		res.TransitionRatio = 1
+		res.ReportIncrease = 1
+		res.TotalEvents = int64(len(golden.Reports))
+		return res, nil
+	}
+
+	segs := p.buildSegments(input, bounds)
+
+	// Execute segments in order, chaining truth through the timeline
+	// (§3.4, Figure 6): each segment's state-vector transfer and event scan
+	// start when it finishes and overlap everything else; only the
+	// truth-propagation step chains serially. The FIV for segment j+1
+	// departs as soon as segment j's truth is known.
+	var prevKnown ap.Cycles
+	for j, seg := range segs {
+		fivAt := ap.Cycles(1<<62 - 1)
+		if j > 0 && !p.Cfg.DisableFIV {
+			fivAt = prevKnown + ap.FIVTransferCycles
+		}
+		p.runSegment(seg, input, fivAt)
+		done := seg.Cycles
+		if p.Cfg.Speculate && j > 0 {
+			done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles)
+		}
+
+		aliveFlows := 0
+		for _, f := range seg.flows {
+			if f.alive {
+				aliveFlows++
+			}
+		}
+		nextUnits := 0
+		if j+1 < len(segs) && !p.Cfg.Speculate {
+			nextUnits = len(p.SymbolPlanFor(segs[j+1].Sym).Units)
+		}
+		par := hostParallelCycles(p.Placement.Devices, seg.EventsEmitted, nextUnits, aliveFlows)
+		ser := hostSerialCycles(nextUnits, aliveFlows)
+		seg.HostCycles = par + ser
+		known := done + par
+		if j > 0 && prevKnown > known {
+			known = prevKnown
+		}
+		seg.KnownAt = known + ser
+		prevKnown = seg.KnownAt
+	}
+	res.RawTotalCycles = prevKnown
+	res.TotalCycles = prevKnown
+	if res.TotalCycles > res.BaselineCycles {
+		// Golden execution (§5.1): the half-core that ran segment 1 keeps
+		// processing the remaining segments sequentially with known start
+		// states, so PAP never loses to the baseline.
+		res.TotalCycles = res.BaselineCycles
+		res.Clamped = true
+	}
+	res.Speedup = float64(res.BaselineCycles) / float64(res.TotalCycles)
+
+	p.compose(res, segs)
+	p.aggregate(res, segs)
+	return res, nil
+}
+
+// buildSegments constructs the runtime flows of every segment: segment 0
+// gets the golden flow (true start states known); segments j>0 get the ASG
+// flow plus one flow per FlowSpec of their boundary symbol's plan, and the
+// truth of their units evaluated against the golden boundary state.
+func (p *Plan) buildSegments(input []byte, bounds []engine.Boundary) []*segmentResult {
+	segs := make([]*segmentResult, p.Segments)
+	for j := 0; j < p.Segments; j++ {
+		start, end := 0, len(input)
+		if j > 0 {
+			start = p.Cuts[j-1]
+		}
+		if j < len(p.Cuts) {
+			end = p.Cuts[j]
+		}
+		seg := &segmentResult{
+			Index: j,
+			Start: start,
+			End:   end,
+			svc:   ap.NewSVC(p.Placement.Devices),
+		}
+		if j == 0 {
+			golden := &flowRun{
+				id:     0,
+				asg:    true,
+				alive:  true,
+				attrib: []attribEntry{{CC: -1, Unit: -1, From: 0}},
+			}
+			seed := dropAllInput(sortedIDs(p.NFA.StartStates()), p.NFA)
+			golden.svcID = seg.svc.AllocOverflow(seed, fingerprintOf(seed, p.NFA))
+			seg.flows = []*flowRun{golden}
+			seg.InitFlows = 1
+			segs[j] = seg
+			continue
+		}
+		seg.Sym = input[start-1]
+		asg := &flowRun{
+			id:     0,
+			asg:    true,
+			alive:  true,
+			attrib: []attribEntry{{CC: -1, Unit: -1, From: int64(start)}},
+		}
+		asg.svcID = seg.svc.AllocOverflow(nil, 0)
+		seg.flows = append(seg.flows, asg)
+		if p.Cfg.Speculate {
+			// Speculation: predict an idle boundary; no enumeration flows.
+			seg.InitFlows = 1
+			segs[j] = seg
+			continue
+		}
+		sp := p.SymbolPlanFor(seg.Sym)
+		seg.unitTrue = unitTruth(sp, bounds[j-1])
+		for fi, spec := range sp.Flows {
+			f := &flowRun{
+				id:    fi + 1,
+				alive: true,
+			}
+			seed := dropAllInput(sortedIDs(spec.Seed), p.NFA)
+			f.svcID = seg.svc.AllocOverflow(seed, fingerprintOf(seed, p.NFA))
+			for _, ui := range spec.Units {
+				f.attrib = append(f.attrib, attribEntry{
+					CC:   sp.Units[ui].CC,
+					Unit: ui,
+					From: int64(start),
+				})
+			}
+			seg.flows = append(seg.flows, f)
+		}
+		seg.InitFlows = len(seg.flows)
+		segs[j] = seg
+	}
+	return segs
+}
+
+// unitTruth evaluates every unit of a symbol plan against the golden
+// enabled set at a boundary: a unit is true iff its whole (non-baseline)
+// seed is enabled — the host-computable criterion that is sound (subset
+// activity is subset reports) and complete (a fired parent enables all its
+// children).
+func unitTruth(sp *SymbolPlan, b engine.Boundary) []bool {
+	enabled := make(map[nfa.StateID]struct{}, len(b.Enabled))
+	for _, q := range b.Enabled {
+		enabled[q] = struct{}{}
+	}
+	out := make([]bool, len(sp.Units))
+	for i, u := range sp.Units {
+		ok := true
+		for _, q := range u.seedCheck {
+			if _, in := enabled[q]; !in {
+				ok = false
+				break
+			}
+		}
+		out[i] = ok && len(u.seedCheck) > 0
+	}
+	return out
+}
+
+func fingerprintOf(seed []nfa.StateID, n *nfa.NFA) uint64 {
+	var fp uint64
+	var prev nfa.StateID = -1
+	for _, q := range seed { // sorted; skip duplicates
+		if q != prev {
+			fp ^= engine.Key(q)
+			prev = q
+		}
+	}
+	return fp
+}
+
+// dropAllInput removes always-enabled states (and duplicates) from a
+// sorted seed: they are implicit in every flow's vector.
+func dropAllInput(sorted []nfa.StateID, n *nfa.NFA) []nfa.StateID {
+	isAll := make(map[nfa.StateID]bool, len(n.AllInputStates()))
+	for _, q := range n.AllInputStates() {
+		isAll[q] = true
+	}
+	out := sorted[:0]
+	var prev nfa.StateID = -1
+	for _, q := range sorted {
+		if !isAll[q] && q != prev {
+			out = append(out, q)
+			prev = q
+		}
+	}
+	return out
+}
+
+// compose filters every flow's reports by unit truth and unions them
+// (§3.4): a report in connected component c of flow f is kept iff an
+// attribution entry of f covers c with a true unit at or before the
+// report's offset. Baseline-caused reports are kept via the always-true
+// entries of the ASG/golden flows. The result is compared against the
+// golden sequential run.
+func (p *Plan) compose(res *Result, segs []*segmentResult) {
+	ccIDs, _ := p.NFA.ConnectedComponents()
+	var out []engine.Report
+	for _, seg := range segs {
+		for _, f := range seg.flows {
+			for _, r := range f.reports {
+				if attribTrue(f.attrib, seg.unitTrue, ccIDs[r.State], r.Offset) {
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	res.Reports = engine.DedupeReports(out)
+	res.Correct = engine.SameReports(res.Reports, res.Golden.Reports)
+}
+
+// aggregate fills the whole-run metrics from per-segment results.
+func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
+	var flowRounds, rounds int64
+	var switchCyc, cyc, hostCyc ap.Cycles
+	var events, trans int64
+	hostSamples := 0
+	for _, seg := range segs {
+		res.Segments = append(res.Segments, SegmentStats{
+			Index:         seg.Index,
+			Start:         seg.Start,
+			End:           seg.End,
+			BoundarySym:   seg.Sym,
+			InitFlows:     seg.InitFlows,
+			Rounds:        seg.Rounds,
+			AvgFlows:      safeDiv(float64(seg.FlowRounds), float64(seg.Rounds)),
+			Deactivations: seg.Deactivations,
+			Convergences:  seg.Convergences,
+			FIVKills:      seg.FIVKills,
+			FIVApplied:    seg.FIVApplied,
+			Cycles:        seg.Cycles,
+			SwitchCycles:  seg.SwitchCycles,
+			HostCycles:    seg.HostCycles,
+			KnownAt:       seg.KnownAt,
+			Events:        seg.EventsEmitted,
+			Transitions:   seg.Transitions,
+			Mispredicted:  seg.Mispredicted,
+			RerunCycles:   seg.RerunCycles,
+		})
+		if seg.Mispredicted {
+			res.MispredictedSegments++
+		}
+		cyc += seg.Cycles
+		switchCyc += seg.SwitchCycles
+		events += seg.EventsEmitted
+		trans += seg.Transitions
+		if seg.Index > 0 {
+			flowRounds += seg.FlowRounds
+			rounds += int64(seg.Rounds)
+		}
+		if seg.Index < len(segs)-1 {
+			hostCyc += seg.HostCycles
+			hostSamples++
+		}
+	}
+	res.AvgActiveFlows = safeDiv(float64(flowRounds), float64(rounds))
+	res.SwitchOverheadPct = 100 * safeDiv(float64(switchCyc), float64(cyc))
+	if hostSamples > 0 {
+		res.AvgHostCycles = hostCyc / ap.Cycles(hostSamples)
+	}
+	res.TotalEvents = events
+	res.ReportIncrease = safeDiv(float64(events), float64(len(res.Golden.Reports)))
+	if len(res.Golden.Reports) == 0 {
+		res.ReportIncrease = float64(events + 1)
+	}
+	res.TransitionRatio = safeDiv(float64(trans), float64(res.Golden.Transitions))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// CheckCorrect returns an error when the composed reports differ from the
+// sequential run — which would indicate a bug in the parallelization, never
+// an expected condition.
+func (r *Result) CheckCorrect() error {
+	if !r.Correct {
+		return fmt.Errorf("core: composed reports differ from sequential execution (%d vs %d events)",
+			len(r.Reports), len(r.Golden.Reports))
+	}
+	return nil
+}

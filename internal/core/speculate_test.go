@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSpeculativeExactness: speculation must compose exactly for hot and
+// cold inputs, with and without mispredictions.
+func TestSpeculativeExactness(t *testing.T) {
+	n := mustCompile(t, "abc", "ab.*z")
+	rng := rand.New(rand.NewSource(3))
+
+	hot := genInput(rng, 1<<14, []string{"abc", "abz"})
+	cold := make([]byte, 1<<14)
+	for i := range cold {
+		cold[i] = "qrstuv"[rng.Intn(6)] // never touches the patterns
+	}
+	for name, input := range map[string][]byte{"hot": hot, "cold": cold} {
+		cfg := testConfig(1)
+		cfg.Speculate = true
+		res, err := Run(n, input, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.CheckCorrect(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "cold" && res.MispredictedSegments != 0 {
+			t.Fatalf("cold input mispredicted %d segments", res.MispredictedSegments)
+		}
+		if name == "hot" && res.MispredictedSegments == 0 {
+			t.Fatalf("hot input never mispredicted")
+		}
+	}
+}
+
+// TestSpeculationTradeoff: on cold inputs speculation matches enumeration's
+// near-ideal speedup; on hot inputs it collapses toward the baseline while
+// enumeration holds up — the reason the paper chose enumeration (§6).
+func TestSpeculationTradeoff(t *testing.T) {
+	// "vw.*z" keeps a self-looping state enabled forever once "vw" is seen,
+	// so every boundary of the hot input carries enumeration activity.
+	n := mustCompile(t, "abcde", "vw.*z")
+	rng := rand.New(rand.NewSource(8))
+
+	cold := make([]byte, 1<<16)
+	for i := range cold {
+		cold[i] = "jklmnopq"[rng.Intn(8)]
+	}
+	hot := make([]byte, 1<<16)
+	for i := range hot {
+		hot[i] = "abcdevwxyz"[rng.Intn(10)]
+	}
+
+	speedup := func(input []byte, speculate bool) float64 {
+		cfg := testConfig(1)
+		cfg.Speculate = speculate
+		res, err := Run(n, input, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckCorrect(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Speedup
+	}
+
+	coldSpec := speedup(cold, true)
+	coldEnum := speedup(cold, false)
+	hotSpec := speedup(hot, true)
+	hotEnum := speedup(hot, false)
+
+	if coldSpec < coldEnum*0.8 {
+		t.Errorf("cold: speculation %.2fx far below enumeration %.2fx", coldSpec, coldEnum)
+	}
+	if hotSpec > hotEnum {
+		t.Errorf("hot: speculation %.2fx beat enumeration %.2fx (unexpected for hot traffic)",
+			hotSpec, hotEnum)
+	}
+	if hotSpec > 4 {
+		t.Errorf("hot speculation speedup %.2fx suspiciously high (re-runs serialize)", hotSpec)
+	}
+}

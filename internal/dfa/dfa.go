@@ -1,0 +1,212 @@
+// Package dfa provides deterministic finite automata: subset-construction
+// conversion from the homogeneous NFAs of package nfa, a table-driven
+// engine, and the enumerative data-parallel DFA matcher of Mytkowicz,
+// Musuvathi & Schulte (ASPLOS 2014) — the prior work ([25] in the paper)
+// whose enumeration-plus-convergence idea PAP generalises to NFAs on the
+// AP. The paper argues DFA conversion is untenable for its rulesets
+// (exponential state growth, §2.1); Convert's state cap makes that blow-up
+// observable and testable.
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"pap/internal/nfa"
+)
+
+// StateID identifies a DFA state. State 0 is always the start state.
+type StateID int32
+
+// DFA is a dense-transition-table automaton over full 8-bit symbols.
+// A DFA state is a pair (enabled NFA subset, report codes fired on entry):
+// folding the fired codes into the state identity keeps report semantics
+// exact even for reporting NFA states with no successors.
+type DFA struct {
+	name string
+	// next[s*256+sym] is the successor of state s on sym.
+	next []StateID
+	// reports[s] lists the rule codes that fire when state s is entered
+	// (homogeneous-NFA semantics report on the symbol completing a match,
+	// which subset construction preserves).
+	reports [][]int32
+}
+
+// Name returns the automaton's name.
+func (d *DFA) Name() string { return d.name }
+
+// Len returns the number of DFA states.
+func (d *DFA) Len() int { return len(d.reports) }
+
+// Next returns the successor of s on sym.
+func (d *DFA) Next(s StateID, sym byte) StateID {
+	return d.next[int(s)*256+int(sym)]
+}
+
+// Reports returns the rule codes fired on entering s (nil for most states).
+func (d *DFA) Reports(s StateID) []int32 { return d.reports[s] }
+
+// ConvertLimitExceeded is returned when subset construction would exceed
+// the state cap — the blow-up the paper cites as the reason DFAs cannot
+// replace NFAs for its rulesets.
+type ConvertLimitExceeded struct {
+	Name     string
+	Limit    int
+	Explored int
+}
+
+func (e *ConvertLimitExceeded) Error() string {
+	return fmt.Sprintf("dfa: converting %q exceeded %d states (explored %d)",
+		e.Name, e.Limit, e.Explored)
+}
+
+// Convert builds the equivalent DFA of a homogeneous NFA via subset
+// construction, up to maxStates (0 = 1<<20). The DFA's report events match
+// the NFA's exactly: entering the successor of (s, sym) fires code c iff
+// some reporting NFA state with code c fires on sym in s's subset.
+func Convert(n *nfa.NFA, maxStates int) (*DFA, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	isAll := make([]bool, n.Len())
+	for _, q := range n.AllInputStates() {
+		isAll[q] = true
+	}
+
+	// step computes the successor subset (excluding all-input states,
+	// which carry no information — they are enabled everywhere and
+	// re-injected each step) and the fired report codes.
+	mark := make([]int32, n.Len())
+	epoch := int32(0)
+	step := func(cur []nfa.StateID, sym byte) (next []nfa.StateID, codes []int32) {
+		epoch++
+		fire := func(q nfa.StateID) {
+			st := n.State(q)
+			if !st.Label.Test(sym) {
+				return
+			}
+			if st.Flags&nfa.Report != 0 {
+				codes = append(codes, st.ReportCode)
+			}
+			for _, c := range n.Succ(q) {
+				if !isAll[c] && mark[c] != epoch {
+					mark[c] = epoch
+					next = append(next, c)
+				}
+			}
+		}
+		for _, q := range cur {
+			fire(q)
+		}
+		for _, q := range n.AllInputStates() {
+			fire(q)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		codes = dedupeCodes(codes)
+		return next, codes
+	}
+
+	type key string
+	encode := func(ids []nfa.StateID, codes []int32) key {
+		buf := make([]byte, 0, 4*len(ids)+4*len(codes)+1)
+		for _, q := range ids {
+			buf = append(buf, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+		}
+		buf = append(buf, 0xff)
+		for _, c := range codes {
+			buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		return key(buf)
+	}
+
+	start := make([]nfa.StateID, 0, len(n.StartStates()))
+	for _, q := range n.StartStates() {
+		if !isAll[q] {
+			start = append(start, q)
+		}
+	}
+	sort.Slice(start, func(i, j int) bool { return start[i] < start[j] })
+
+	d := &DFA{name: n.Name()}
+	index := map[key]StateID{}
+	var worklist [][]nfa.StateID
+	add := func(ids []nfa.StateID, codes []int32) (StateID, error) {
+		k := encode(ids, codes)
+		if id, ok := index[k]; ok {
+			return id, nil
+		}
+		if len(index) >= maxStates {
+			return 0, &ConvertLimitExceeded{Name: n.Name(), Limit: maxStates, Explored: len(index)}
+		}
+		id := StateID(len(index))
+		index[k] = id
+		worklist = append(worklist, append([]nfa.StateID(nil), ids...))
+		d.reports = append(d.reports, codes)
+		return id, nil
+	}
+	if _, err := add(start, nil); err != nil {
+		return nil, err
+	}
+	for head := 0; head < len(worklist); head++ {
+		cur := worklist[head]
+		row := make([]StateID, 256)
+		for sym := 0; sym < 256; sym++ {
+			next, codes := step(cur, byte(sym))
+			id, err := add(next, codes)
+			if err != nil {
+				return nil, err
+			}
+			row[sym] = id
+		}
+		d.next = append(d.next, row...)
+	}
+	return d, nil
+}
+
+func dedupeCodes(codes []int32) []int32 {
+	if len(codes) <= 1 {
+		return codes
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	out := codes[:1]
+	for _, c := range codes[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Report is one DFA match event.
+type Report struct {
+	Offset int64
+	Code   int32
+}
+
+// Run executes the DFA over input from the start state, returning all
+// report events.
+func (d *DFA) Run(input []byte) []Report {
+	var out []Report
+	s := StateID(0)
+	for i, sym := range input {
+		s = d.Next(s, sym)
+		for _, c := range d.Reports(s) {
+			out = append(out, Report{Offset: int64(i), Code: c})
+		}
+	}
+	return out
+}
+
+// RunFrom executes the DFA over input starting in state s0, returning the
+// events and the final state — the building block of enumerative
+// parallelization.
+func (d *DFA) RunFrom(s0 StateID, input []byte, base int64) (final StateID, out []Report) {
+	s := s0
+	for i, sym := range input {
+		s = d.Next(s, sym)
+		for _, c := range d.Reports(s) {
+			out = append(out, Report{Offset: base + int64(i), Code: c})
+		}
+	}
+	return s, out
+}

@@ -1,0 +1,288 @@
+package dfa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+	"pap/internal/regex"
+)
+
+func mustCompile(t *testing.T, patterns ...string) *nfa.NFA {
+	t.Helper()
+	n, err := regex.CompilePatterns("t", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// sameEvents compares DFA reports with NFA engine reports as
+// (offset, code) sets.
+func sameEvents(dr []Report, nr []engine.Report) bool {
+	type ev struct {
+		off  int64
+		code int32
+	}
+	a := map[ev]bool{}
+	for _, r := range dr {
+		a[ev{r.Offset, r.Code}] = true
+	}
+	b := map[ev]bool{}
+	for _, r := range nr {
+		b[ev{r.Offset, r.Code}] = true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConvertSimple(t *testing.T) {
+	n := mustCompile(t, "abc")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() < 3 {
+		t.Fatalf("DFA states = %d", d.Len())
+	}
+	input := []byte("zzabczzabc")
+	if !sameEvents(d.Run(input), engine.Run(n, input).Reports) {
+		t.Fatal("DFA and NFA disagree")
+	}
+}
+
+func TestConvertAnchored(t *testing.T) {
+	n := mustCompile(t, "^abc")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"abc", "zabc", "abcabc"} {
+		if !sameEvents(d.Run([]byte(in)), engine.Run(n, []byte(in)).Reports) {
+			t.Fatalf("disagree on %q", in)
+		}
+	}
+}
+
+func TestConvertReportCodesOnSinkStates(t *testing.T) {
+	// Two rules whose reporting states have no successors and identical
+	// (empty) successor sets but different codes: the tagged identity must
+	// keep them apart.
+	n := mustCompile(t, "ax", "bx")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("ax bx abx")
+	if !sameEvents(d.Run(input), engine.Run(n, input).Reports) {
+		t.Fatal("report codes lost in conversion")
+	}
+}
+
+func TestConvertLimit(t *testing.T) {
+	// Classic exponential case: .*a.{12} needs ~2^12 DFA states.
+	n := mustCompile(t, "a.{12}b")
+	_, err := Convert(n, 512)
+	var lim *ConvertLimitExceeded
+	if !errors.As(err, &lim) {
+		t.Fatalf("expected ConvertLimitExceeded, got %v", err)
+	}
+	if lim.Limit != 512 || lim.Explored < 512 {
+		t.Fatalf("limit error = %+v", lim)
+	}
+	if lim.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+// TestConvertEquivalenceRandom: subset construction must agree with the
+// NFA engine on random automata and inputs.
+func TestConvertEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := randomNFA(rng, 2+rng.Intn(12))
+		d, err := Convert(n, 1<<14)
+		if err != nil {
+			continue // blow-up: acceptable, tested above
+		}
+		input := make([]byte, 100)
+		for i := range input {
+			input[i] = "abcd"[rng.Intn(4)]
+		}
+		if !sameEvents(d.Run(input), engine.Run(n, input).Reports) {
+			t.Fatalf("trial %d: DFA and NFA disagree", trial)
+		}
+	}
+}
+
+func randomNFA(rng *rand.Rand, states int) *nfa.NFA {
+	b := nfa.NewBuilder("rand")
+	alpha := []byte("abcd")
+	for i := 0; i < states; i++ {
+		var cls nfa.Class
+		for _, s := range alpha {
+			if rng.Intn(3) == 0 {
+				cls.Add(s)
+			}
+		}
+		if cls.Empty() {
+			cls.Add(alpha[rng.Intn(len(alpha))])
+		}
+		var flags nfa.Flags
+		switch rng.Intn(6) {
+		case 0:
+			flags |= nfa.AllInput
+		case 1:
+			flags |= nfa.StartOfData
+		}
+		if rng.Intn(5) == 0 {
+			flags |= nfa.Report
+		}
+		b.AddState(cls, flags)
+	}
+	b.SetFlags(0, nfa.StartOfData)
+	for i := 0; i < states; i++ {
+		for k := 0; k < rng.Intn(3); k++ {
+			b.AddEdge(nfa.StateID(i), nfa.StateID(rng.Intn(states)))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRunFrom(t *testing.T) {
+	n := mustCompile(t, "ab")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("abab")
+	full := d.Run(input)
+	// Split at 2 and stitch.
+	mid, first := d.RunFrom(0, input[:2], 0)
+	_, second := d.RunFrom(mid, input[2:], 2)
+	stitched := append(first, second...)
+	if len(stitched) != len(full) {
+		t.Fatalf("stitched %d events, full %d", len(stitched), len(full))
+	}
+	for i := range full {
+		if full[i] != stitched[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, full[i], stitched[i])
+		}
+	}
+}
+
+// TestRunParallelExact: the Mytkowicz matcher must equal sequential DFA
+// execution for any chunking.
+func TestRunParallelExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := mustCompile(t, "attack", "defen[cs]e", "(ab|cd)+e")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 4096)
+	corpus := "attack defence abcde xyz "
+	for i := range input {
+		input[i] = corpus[rng.Intn(len(corpus))]
+	}
+	seq := d.Run(input)
+	for _, chunks := range []int{1, 2, 7, 16, 64} {
+		res, err := d.RunParallel(input, chunks, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Reports) != len(seq) {
+			t.Fatalf("chunks=%d: %d events, want %d", chunks, len(res.Reports), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != res.Reports[i] {
+				t.Fatalf("chunks=%d event %d: %+v vs %+v", chunks, i, seq[i], res.Reports[i])
+			}
+		}
+		if chunks > 1 && res.InitialLanes != d.Len() {
+			t.Fatalf("InitialLanes = %d, want %d", res.InitialLanes, d.Len())
+		}
+		if res.Speedup <= 0 || res.SeqSteps != int64(len(input)) {
+			t.Fatalf("stats = %+v", res)
+		}
+	}
+}
+
+// TestRunParallelConvergence: lanes must collapse quickly on real-ish
+// rulesets — the observation both Mytkowicz and PAP rely on.
+func TestRunParallelConvergence(t *testing.T) {
+	n := mustCompile(t, "abcdef")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	input := make([]byte, 8192)
+	for i := range input {
+		input[i] = "abcdefxyz"[rng.Intn(9)]
+	}
+	res, err := d.RunParallel(input, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgLanes >= float64(d.Len())/2 {
+		t.Fatalf("lanes did not converge: avg %.1f of %d", res.AvgLanes, d.Len())
+	}
+	if res.Speedup < 2 {
+		t.Fatalf("speedup %.2f too low for a converging DFA", res.Speedup)
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	n := mustCompile(t, "ab")
+	d, _ := Convert(n, 0)
+	if _, err := d.RunParallel([]byte("x"), 0, 8); err == nil {
+		t.Fatal("chunks=0 accepted")
+	}
+	// More chunks than input: clamps.
+	res, err := d.RunParallel([]byte("ab"), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks > 2 {
+		t.Fatalf("chunks = %d", res.Chunks)
+	}
+}
+
+// TestRandomParallelEquivalence: property over random DFAs and chunkings.
+func TestRandomParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNFA(rng, 2+rng.Intn(10))
+		d, err := Convert(n, 1<<12)
+		if err != nil {
+			continue
+		}
+		input := make([]byte, 200+rng.Intn(400))
+		for i := range input {
+			input[i] = "abcd"[rng.Intn(4)]
+		}
+		seq := d.Run(input)
+		res, err := d.RunParallel(input, 1+rng.Intn(12), 1+rng.Intn(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Reports) != len(seq) {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(res.Reports), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != res.Reports[i] {
+				t.Fatalf("trial %d event %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package dfa
+
+import (
+	"sort"
+)
+
+// Minimize returns the Hopcroft-minimal DFA equivalent to d. States are
+// initially partitioned by their report-code sets (reports fire on state
+// entry, so two states with different codes are distinguishable by
+// definition); partition refinement then splits on transition behaviour.
+// Minimizing before RunParallel shrinks the enumeration width (lanes =
+// DFA states), making the Mytkowicz baseline as strong as possible.
+func (d *DFA) Minimize() *DFA {
+	n := d.Len()
+	if n == 0 {
+		return d
+	}
+
+	// Initial partition: group states by report signature.
+	block := make([]int, n) // state -> block id
+	{
+		sig := make(map[string]int)
+		for s := 0; s < n; s++ {
+			key := codesKey(d.reports[s])
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			block[s] = id
+		}
+	}
+
+	// Iterative refinement: split blocks whose members disagree on the
+	// block of any successor. (Moore's algorithm; O(n·256) per round,
+	// rounds bounded by n. Hopcroft's worklist would be asymptotically
+	// faster but this is simple, obviously correct, and fast enough for
+	// the sizes the repository converts.)
+	for {
+		next := make([]int, n)
+		sig := make(map[string]int)
+		for s := 0; s < n; s++ {
+			// Signature: own block + successor blocks.
+			buf := make([]byte, 0, 4*(256+1))
+			buf = appendInt(buf, block[s])
+			for sym := 0; sym < 256; sym++ {
+				buf = appendInt(buf, block[d.next[s*256+sym]])
+			}
+			key := string(buf)
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			next[s] = id
+		}
+		same := true
+		// Refinement is stable when the block count stops growing.
+		if countDistinct(next) != countDistinct(block) {
+			same = false
+		}
+		block = next
+		if same {
+			break
+		}
+	}
+
+	// Rebuild with block 0 = the start state's block, then in first-seen
+	// order for determinism.
+	remap := make([]StateID, countDistinct(block))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var order []int // old representative state per new id
+	assign := func(oldState int) StateID {
+		b := block[oldState]
+		if remap[b] == -1 {
+			remap[b] = StateID(len(order))
+			order = append(order, oldState)
+		}
+		return remap[b]
+	}
+	assign(0)
+	for s := 0; s < n; s++ {
+		assign(s)
+	}
+
+	out := &DFA{name: d.name}
+	for _, rep := range order {
+		out.reports = append(out.reports, d.reports[rep])
+		row := make([]StateID, 256)
+		for sym := 0; sym < 256; sym++ {
+			row[sym] = remap[block[d.next[rep*256+sym]]]
+		}
+		out.next = append(out.next, row...)
+	}
+	return out
+}
+
+func codesKey(codes []int32) string {
+	cs := append([]int32(nil), codes...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	buf := make([]byte, 0, 4*len(cs))
+	for _, c := range cs {
+		buf = appendInt(buf, int(c))
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func countDistinct(xs []int) int {
+	seen := map[int]struct{}{}
+	for _, x := range xs {
+		seen[x] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,125 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeReducesRedundantStates(t *testing.T) {
+	// "abc|abd" compiled without prefix merging has duplicated prefix
+	// structure that minimization folds; either way the result must be no
+	// larger and behave identically.
+	n := mustCompile(t, "abc", "abd")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Minimize()
+	if m.Len() > d.Len() {
+		t.Fatalf("minimize grew DFA: %d -> %d", d.Len(), m.Len())
+	}
+	input := []byte("xxabcxabdxab")
+	a, b := d.Run(input), m.Run(input)
+	if len(a) != len(b) {
+		t.Fatalf("behaviour changed: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMinimizeKeepsDistinctCodes(t *testing.T) {
+	// Structurally identical rules with different codes must not merge
+	// into one reporting state.
+	n := mustCompile(t, "ab", "cd")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Minimize()
+	input := []byte("ab cd")
+	events := m.Run(input)
+	codes := map[int32]bool{}
+	for _, e := range events {
+		codes[e.Code] = true
+	}
+	if !codes[0] || !codes[1] {
+		t.Fatalf("lost report codes: %+v", events)
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	n := mustCompile(t, "a[bc]+d")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := d.Minimize()
+	m2 := m1.Minimize()
+	if m1.Len() != m2.Len() {
+		t.Fatalf("not idempotent: %d -> %d", m1.Len(), m2.Len())
+	}
+}
+
+// TestMinimizeEquivalenceRandom: minimized DFAs behave identically on
+// random automata/inputs, never grow, and parallel matching on them stays
+// exact.
+func TestMinimizeEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := randomNFA(rng, 2+rng.Intn(10))
+		d, err := Convert(n, 1<<12)
+		if err != nil {
+			continue
+		}
+		m := d.Minimize()
+		if m.Len() > d.Len() {
+			t.Fatalf("trial %d: grew %d -> %d", trial, d.Len(), m.Len())
+		}
+		input := make([]byte, 150)
+		for i := range input {
+			input[i] = "abcd"[rng.Intn(4)]
+		}
+		a, b := d.Run(input), m.Run(input)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d events", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d event %d differs", trial, i)
+			}
+		}
+		// Parallel matching on the minimized DFA is still exact.
+		pr, err := m.RunParallel(input, 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Reports) != len(a) {
+			t.Fatalf("trial %d: parallel on minimized differs", trial)
+		}
+	}
+}
+
+func TestMinimizeShrinksEnumerationWidth(t *testing.T) {
+	// The practical payoff: fewer lanes for the Mytkowicz baseline.
+	n := mustCompile(t, "hello", "help", "hero")
+	d, err := Convert(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Minimize()
+	rng := rand.New(rand.NewSource(2))
+	input := make([]byte, 2048)
+	for i := range input {
+		input[i] = "helorpx "[rng.Intn(8)]
+	}
+	pr, err := m.RunParallel(input, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.InitialLanes != m.Len() || m.Len() > d.Len() {
+		t.Fatalf("lanes=%d minimized=%d original=%d", pr.InitialLanes, m.Len(), d.Len())
+	}
+}

@@ -1,0 +1,178 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunParallel is the enumerative data-parallel DFA matcher of Mytkowicz et
+// al. (the paper's [25]), the CPU-side precursor of PAP:
+//
+//   - the input splits into chunks; chunk 1 starts from the start state,
+//     and every other chunk enumerates all DFA states as possible entry
+//     states ("lanes");
+//   - lanes that converge to the same current state merge (checked every
+//     checkEvery symbols — the property PAP's §3.3.3 convergence checks
+//     inherit);
+//   - phase 1 produces each chunk's transition function; composing them
+//     yields every chunk's true entry state, and phase 2 replays each
+//     chunk from it to emit exact reports.
+//
+// The returned statistics model the algorithm's cost on idealised parallel
+// hardware with one processor per chunk: a chunk's phase-1 cost is the sum
+// of live lanes over its symbols (SIMD gathers in the original), phase 2
+// adds one pass, and the sequential baseline is one transition per symbol.
+type ParallelResult struct {
+	Reports []Report
+	Chunks  int
+
+	// InitialLanes is the enumeration width (= DFA states) of chunks > 1.
+	InitialLanes int
+	// AvgLanes is the time-averaged live lanes across enumerated chunks.
+	AvgLanes float64
+	// LaneSteps is the total phase-1 transition count across chunks.
+	LaneSteps int64
+	// CriticalPath is the modelled parallel completion cost: the largest
+	// per-chunk (phase-1 + replay) transition count.
+	CriticalPath int64
+	// SeqSteps is the sequential baseline cost (one transition/symbol).
+	SeqSteps int64
+	// Speedup is SeqSteps / CriticalPath.
+	Speedup float64
+}
+
+// RunParallel runs the matcher with the given chunk count, merging
+// converged lanes every checkEvery symbols (0 = every 16).
+func (d *DFA) RunParallel(input []byte, chunks, checkEvery int) (*ParallelResult, error) {
+	if chunks < 1 {
+		return nil, fmt.Errorf("dfa: chunks = %d", chunks)
+	}
+	if chunks > len(input) {
+		chunks = len(input)
+		if chunks == 0 {
+			chunks = 1
+		}
+	}
+	if checkEvery <= 0 {
+		checkEvery = 16
+	}
+	res := &ParallelResult{
+		Chunks:       chunks,
+		InitialLanes: d.Len(),
+		SeqSteps:     int64(len(input)),
+	}
+
+	type chunk struct {
+		start, end int
+		// curOf[origin] = current state of the lane that started in state
+		// `origin` (compressed via lane dedup below).
+		entryToFinal []StateID
+		cost         int64
+	}
+	cs := make([]chunk, chunks)
+	for j := range cs {
+		cs[j].start = j * len(input) / chunks
+		cs[j].end = (j + 1) * len(input) / chunks
+	}
+
+	var laneTime int64 // Σ lanes over symbols, enumerated chunks only
+	var laneSymbols int64
+
+	// Phase 1: per-chunk transition functions.
+	for j := range cs {
+		c := &cs[j]
+		if j == 0 {
+			// Known entry: a single lane.
+			s := StateID(0)
+			for i := c.start; i < c.end; i++ {
+				s = d.Next(s, input[i])
+			}
+			c.entryToFinal = []StateID{s}
+			c.cost = int64(c.end - c.start)
+			res.LaneSteps += c.cost
+			continue
+		}
+		// Enumerate every DFA state; dedupe lanes as they converge.
+		curOf := make([]StateID, d.Len()) // origin -> lane index
+		lanes := make([]StateID, d.Len()) // lane index -> current state
+		for s := range lanes {
+			lanes[s] = StateID(s)
+			curOf[s] = StateID(s)
+		}
+		sinceCheck := 0
+		for i := c.start; i < c.end; i++ {
+			sym := input[i]
+			for l := range lanes {
+				lanes[l] = d.Next(lanes[l], sym)
+			}
+			c.cost += int64(len(lanes))
+			laneTime += int64(len(lanes))
+			laneSymbols++
+			sinceCheck++
+			if sinceCheck >= checkEvery {
+				sinceCheck = 0
+				lanes, curOf = dedupeLanes(lanes, curOf)
+			}
+		}
+		c.entryToFinal = make([]StateID, d.Len())
+		for origin := range c.entryToFinal {
+			c.entryToFinal[origin] = lanes[curOf[origin]]
+		}
+		res.LaneSteps += c.cost
+	}
+
+	// Compose: entry of chunk j+1 = final of chunk j from its true entry.
+	entries := make([]StateID, chunks)
+	entries[0] = 0
+	state := cs[0].entryToFinal[0]
+	for j := 1; j < chunks; j++ {
+		entries[j] = state
+		state = cs[j].entryToFinal[state]
+	}
+
+	// Phase 2: parallel replay from true entries for exact reports.
+	for j := range cs {
+		c := &cs[j]
+		_, reports := d.RunFrom(entries[j], input[c.start:c.end], int64(c.start))
+		res.Reports = append(res.Reports, reports...)
+		c.cost += int64(c.end - c.start)
+		if c.cost > res.CriticalPath {
+			res.CriticalPath = c.cost
+		}
+	}
+	sort.Slice(res.Reports, func(a, b int) bool {
+		if res.Reports[a].Offset != res.Reports[b].Offset {
+			return res.Reports[a].Offset < res.Reports[b].Offset
+		}
+		return res.Reports[a].Code < res.Reports[b].Code
+	})
+	if laneSymbols > 0 {
+		res.AvgLanes = float64(laneTime) / float64(laneSymbols)
+	}
+	if res.CriticalPath > 0 {
+		res.Speedup = float64(res.SeqSteps) / float64(res.CriticalPath)
+	}
+	return res, nil
+}
+
+// dedupeLanes merges lanes that have converged to the same current state,
+// remapping origins to the surviving lane indices.
+func dedupeLanes(lanes []StateID, curOf []StateID) ([]StateID, []StateID) {
+	remap := make(map[StateID]StateID, len(lanes))
+	var out []StateID
+	newIdx := make([]StateID, len(lanes))
+	for l, s := range lanes {
+		if idx, ok := remap[s]; ok {
+			newIdx[l] = idx
+			continue
+		}
+		idx := StateID(len(out))
+		remap[s] = idx
+		out = append(out, s)
+		newIdx[l] = idx
+	}
+	for o := range curOf {
+		curOf[o] = newIdx[curOf[o]]
+	}
+	return out, curOf
+}

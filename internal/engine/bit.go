@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"pap/internal/bitset"
+	"pap/internal/nfa"
+)
+
+// Tables holds per-automaton precomputed match vectors: for each symbol σ,
+// the set of states whose label contains σ. On the AP this is the DRAM row
+// addressed by σ; reading it is the state-match phase. Tables are built
+// lazily per symbol and may be shared by many Bit engines.
+type Tables struct {
+	n     *nfa.NFA
+	match [256]*bitset.Set
+}
+
+// NewTables returns empty (lazily filled) match tables for n.
+func NewTables(n *nfa.NFA) *Tables { return &Tables{n: n} }
+
+// Match returns the match vector for symbol sym, building it on first use.
+func (t *Tables) Match(sym byte) *bitset.Set {
+	if m := t.match[sym]; m != nil {
+		return m
+	}
+	m := bitset.New(t.n.Len())
+	for q := 0; q < t.n.Len(); q++ {
+		if t.n.Label(nfa.StateID(q)).Test(sym) {
+			m.Set(q)
+		}
+	}
+	t.match[sym] = m
+	return m
+}
+
+// Bit is the dense state-vector engine, mirroring the AP's per-STE enable
+// mask. It is slower than Sparse for sparse frontiers but is the reference
+// for state-vector semantics (SVC entries, convergence compares).
+type Bit struct {
+	n        *nfa.NFA
+	tab      *Tables
+	baseline bool
+	enabled  *bitset.Set // excluding all-input states
+	firedBs  *bitset.Set
+	scratch  *bitset.Set
+	allIn    *bitset.Set
+	trans    int64
+}
+
+// NewBit returns a Bit engine at the start configuration, sharing tab.
+func NewBit(n *nfa.NFA, tab *Tables) *Bit {
+	if tab == nil {
+		tab = NewTables(n)
+	}
+	e := &Bit{
+		n:        n,
+		tab:      tab,
+		baseline: true,
+		enabled:  bitset.New(n.Len()),
+		firedBs:  bitset.New(n.Len()),
+		scratch:  bitset.New(n.Len()),
+		allIn:    bitset.New(n.Len()),
+	}
+	for _, q := range n.AllInputStates() {
+		e.allIn.Set(int(q))
+	}
+	e.Reset(n.StartStates())
+	return e
+}
+
+// Reset replaces the enabled vector with the given seed states.
+func (e *Bit) Reset(seed []nfa.StateID) {
+	e.enabled.Reset()
+	for _, q := range seed {
+		e.enabled.Set(int(q))
+	}
+	e.enabled.AndNot(e.allIn)
+}
+
+// SetBaseline switches baseline injection; see Sparse.SetBaseline.
+func (e *Bit) SetBaseline(on bool) { e.baseline = on }
+
+// Step consumes one symbol at the given offset. emit may be nil.
+func (e *Bit) Step(sym byte, off int64, emit EmitFunc) {
+	// State match phase: fired = (enabled ∪ allInput) ∩ match[sym].
+	fired := e.firedBs
+	fired.Copy(e.enabled)
+	if e.baseline {
+		fired.Or(e.allIn)
+	}
+	fired.And(e.tab.Match(sym))
+	// State transition phase: next = ∪ succ(fired).
+	next := e.scratch
+	next.Reset()
+	n := e.n
+	fired.ForEach(func(i int) bool {
+		q := nfa.StateID(i)
+		st := n.State(q)
+		if st.Flags&nfa.Report != 0 && emit != nil {
+			emit(Report{Offset: off, State: q, Code: st.ReportCode})
+		}
+		succ := n.Succ(q)
+		e.trans += int64(len(succ))
+		for _, c := range succ {
+			next.Set(int(c))
+		}
+		return true
+	})
+	next.AndNot(e.allIn)
+	e.scratch, e.enabled = e.enabled, next
+}
+
+// Enabled returns the current enabled vector (excluding all-input states).
+// The set is owned by the engine and invalidated by the next Step.
+func (e *Bit) Enabled() *bitset.Set { return e.enabled }
+
+// Fired returns the states that fired on the most recent Step.
+func (e *Bit) Fired() *bitset.Set { return e.firedBs }
+
+// Transitions returns cumulative transition-edge traversals.
+func (e *Bit) Transitions() int64 { return e.trans }

@@ -1,0 +1,193 @@
+// Package engine executes homogeneous NFAs with the exact semantics of the
+// Micron AP symbol cycle: at each step, every enabled state whose label
+// matches the input symbol fires — reporting if it is a reporting state and
+// enabling its children for the next step — and all-input start states are
+// re-enabled every step.
+//
+// Two implementations are provided with identical observable behaviour:
+//
+//   - Sparse tracks the enabled frontier as a deduplicated slice, the way
+//     VASim does; cost is proportional to the number of active states.
+//   - Bit tracks the frontier as a dense bit vector, the way the AP's
+//     state-enable mask and State Vector Cache do.
+//
+// Tests assert their equivalence on random automata and inputs.
+package engine
+
+import (
+	"pap/internal/bitset"
+	"pap/internal/nfa"
+)
+
+// Report is one output event: reporting state State (carrying rule
+// identifier Code) fired on the symbol at Offset.
+type Report struct {
+	Offset int64
+	State  nfa.StateID
+	Code   int32
+}
+
+// EmitFunc receives report events as they happen.
+type EmitFunc func(Report)
+
+// Key returns the Zobrist key of state q, used to fingerprint enabled sets
+// for the paper's near-zero-cost convergence checks (§3.3.3). Keys are a
+// fixed pseudo-random function of the state ID (splitmix64), so
+// fingerprints are stable across engines, flows and processes.
+func Key(q nfa.StateID) uint64 {
+	z := uint64(q) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sparse is the frontier-list engine. Create with NewSparse, seed with
+// Reset, and advance with Step. Not safe for concurrent use.
+type Sparse struct {
+	n          *nfa.NFA
+	isAllInput []bool
+	baseline   bool          // re-enable all-input states every step
+	frontier   []nfa.StateID // enabled states, excluding all-input states
+	next       []nfa.StateID
+	fired      []nfa.StateID
+	mark       []int32
+	epoch      int32
+	fp         uint64 // XOR of Key over frontier
+	trans      int64
+}
+
+// NewSparse returns an engine positioned at the automaton's start
+// configuration (start-of-data states enabled), with baseline injection on:
+// all-input states fire at every step.
+func NewSparse(n *nfa.NFA) *Sparse {
+	e := &Sparse{
+		n:          n,
+		isAllInput: make([]bool, n.Len()),
+		baseline:   true,
+		mark:       make([]int32, n.Len()),
+	}
+	for _, q := range n.AllInputStates() {
+		e.isAllInput[q] = true
+	}
+	e.Reset(n.StartStates())
+	return e
+}
+
+// SetBaseline switches baseline injection. With it off, the engine tracks
+// only seed-derived ("enumeration") activity: all-input states never fire
+// and are never entered. By NFA additivity, a full flow's behaviour is
+// exactly the union of such a run and the baseline-only run — PAP exploits
+// this to simulate the shared baseline once (in the ASG flow) instead of
+// once per flow. Matches on hardware are unaffected: there, the shared
+// automaton fires all-input states in every flow.
+func (e *Sparse) SetBaseline(on bool) { e.baseline = on }
+
+// Reset replaces the frontier with the given seed states (all-input states
+// in the seed are dropped: they are implicitly always enabled). Duplicates
+// in seed are removed. The transition counter is preserved.
+func (e *Sparse) Reset(seed []nfa.StateID) {
+	e.epoch++
+	e.frontier = e.frontier[:0]
+	e.fp = 0
+	for _, q := range seed {
+		if e.isAllInput[q] || e.mark[q] == e.epoch {
+			continue
+		}
+		e.mark[q] = e.epoch
+		e.frontier = append(e.frontier, q)
+		e.fp ^= Key(q)
+	}
+}
+
+// Step consumes one symbol at the given input offset. emit may be nil.
+func (e *Sparse) Step(sym byte, off int64, emit EmitFunc) {
+	e.epoch++
+	next := e.next[:0]
+	fired := e.fired[:0]
+	var fp uint64
+	n := e.n
+	process := func(q nfa.StateID) {
+		st := n.State(q)
+		if !st.Label.Test(sym) {
+			return
+		}
+		fired = append(fired, q)
+		if st.Flags&nfa.Report != 0 && emit != nil {
+			emit(Report{Offset: off, State: q, Code: st.ReportCode})
+		}
+		succ := n.Succ(q)
+		e.trans += int64(len(succ))
+		for _, c := range succ {
+			if e.isAllInput[c] || e.mark[c] == e.epoch {
+				continue
+			}
+			e.mark[c] = e.epoch
+			next = append(next, c)
+			fp ^= Key(c)
+		}
+	}
+	for _, q := range e.frontier {
+		process(q)
+	}
+	if e.baseline {
+		for _, q := range n.AllInputStates() {
+			process(q)
+		}
+	}
+	e.next, e.frontier = e.frontier, next
+	e.fired = fired
+	e.fp = fp
+}
+
+// Frontier returns the currently enabled states excluding all-input states.
+// The slice is owned by the engine and is invalidated by the next Step.
+func (e *Sparse) Frontier() []nfa.StateID { return e.frontier }
+
+// FiredLast returns the states that fired on the most recent Step. The
+// slice is owned by the engine and is invalidated by the next Step.
+func (e *Sparse) FiredLast() []nfa.StateID { return e.fired }
+
+// FrontierLen returns the number of enabled states (excluding all-input).
+func (e *Sparse) FrontierLen() int { return len(e.frontier) }
+
+// Dead reports whether the frontier is empty: the flow has no activity
+// beyond the always-enabled baseline (deactivation check, §3.3.4).
+func (e *Sparse) Dead() bool { return len(e.frontier) == 0 }
+
+// Fingerprint returns the Zobrist fingerprint of the frontier. Two flows
+// with equal fingerprints are convergence candidates; equality must be
+// confirmed with EqualFrontier.
+func (e *Sparse) Fingerprint() uint64 { return e.fp }
+
+// Transitions returns the cumulative number of transition-edge traversals
+// (successor activations) performed, the paper's dynamic-energy proxy.
+func (e *Sparse) Transitions() int64 { return e.trans }
+
+// FrontierSet materialises the frontier as a bit vector (the AP state
+// vector, minus the always-set all-input bits).
+func (e *Sparse) FrontierSet() *bitset.Set {
+	s := bitset.New(e.n.Len())
+	for _, q := range e.frontier {
+		s.Set(int(q))
+	}
+	return s
+}
+
+// EqualFrontier reports whether two engines over the same automaton have
+// exactly equal frontiers.
+func EqualFrontier(a, b *Sparse) bool {
+	if a.fp != b.fp || len(a.frontier) != len(b.frontier) {
+		return false
+	}
+	// Confirm exactly: mark a's frontier, probe b's.
+	a.epoch++
+	for _, q := range a.frontier {
+		a.mark[q] = a.epoch
+	}
+	for _, q := range b.frontier {
+		if a.mark[q] != a.epoch {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"sort"
+
+	"pap/internal/nfa"
+)
+
+// Result summarises one sequential execution.
+type Result struct {
+	Reports     []Report
+	Transitions int64
+	MaxFrontier int
+	SumFrontier int64 // Σ frontier size over all positions (avg = Sum/len)
+}
+
+// Run executes the automaton over the whole input with the Sparse engine
+// and collects all reports in order.
+func Run(n *nfa.NFA, input []byte) Result {
+	e := NewSparse(n)
+	var res Result
+	emit := func(r Report) { res.Reports = append(res.Reports, r) }
+	for i, sym := range input {
+		e.Step(sym, int64(i), emit)
+		if l := e.FrontierLen(); l > res.MaxFrontier {
+			res.MaxFrontier = l
+		}
+		res.SumFrontier += int64(e.FrontierLen())
+	}
+	res.Transitions = e.Transitions()
+	return res
+}
+
+// Boundary captures the golden execution state at one segment cut: the
+// segment starting at Pos sees Enabled as its true start frontier, produced
+// by the states in Fired firing on input[Pos-1].
+type Boundary struct {
+	Pos     int
+	Fired   []nfa.StateID // fired on input[Pos-1] (copy, sorted)
+	Enabled []nfa.StateID // enabled at Pos, excluding all-input (copy, sorted)
+}
+
+// RunWithBoundaries is Run, additionally recording the golden state at each
+// cut position. cuts must be strictly increasing, in (0, len(input)).
+func RunWithBoundaries(n *nfa.NFA, input []byte, cuts []int) (Result, []Boundary) {
+	e := NewSparse(n)
+	var res Result
+	emit := func(r Report) { res.Reports = append(res.Reports, r) }
+	bounds := make([]Boundary, 0, len(cuts))
+	ci := 0
+	for i, sym := range input {
+		e.Step(sym, int64(i), emit)
+		if l := e.FrontierLen(); l > res.MaxFrontier {
+			res.MaxFrontier = l
+		}
+		res.SumFrontier += int64(e.FrontierLen())
+		if ci < len(cuts) && cuts[ci] == i+1 {
+			bounds = append(bounds, Boundary{
+				Pos:     i + 1,
+				Fired:   sortedCopy(e.FiredLast()),
+				Enabled: sortedCopy(e.Frontier()),
+			})
+			ci++
+		}
+	}
+	res.Transitions = e.Transitions()
+	return res, bounds
+}
+
+func sortedCopy(ids []nfa.StateID) []nfa.StateID {
+	out := make([]nfa.StateID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReportKey is a comparable identity for deduplicating report events across
+// flows: the same (offset, state) pair may be observed by several flows.
+type ReportKey struct {
+	Offset int64
+	State  nfa.StateID
+}
+
+// DedupeReports sorts reports by (offset, state) and removes duplicates.
+func DedupeReports(rs []Report) []Report {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Offset != rs[j].Offset {
+			return rs[i].Offset < rs[j].Offset
+		}
+		return rs[i].State < rs[j].State
+	})
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := out[len(out)-1]
+		if r.Offset != last.Offset || r.State != last.State {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SameReports reports whether a and b contain the same set of
+// (offset, state) events, ignoring order and duplicates.
+func SameReports(a, b []Report) bool {
+	da := DedupeReports(append([]Report(nil), a...))
+	db := DedupeReports(append([]Report(nil), b...))
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i].Offset != db[i].Offset || da[i].State != db[i].State {
+			return false
+		}
+	}
+	return true
+}

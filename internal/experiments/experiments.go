@@ -1,0 +1,322 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4-§5): Table 1 (benchmark characteristics), Figure 3 (symbol
+// ranges), Figure 8 (speedups), Figure 9 (flow reduction), Figure 10 (flow
+// switching overhead), Figure 11 (false-path invalidation time), Figure 12
+// (output report increase), and the §5.3 sensitivity studies (context-
+// switch cost, extra transitions).
+//
+// Experiments run at a configurable scale: workload rulesets scale with
+// Options.Scale and the paper's 1 MB / 10 MB streams scale to
+// Options.Size1MB / Options.Size10MB. Relative behaviour (who wins, by
+// what factor, where the limits are) is preserved; see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pap/internal/core"
+	"pap/internal/nfa"
+	"pap/internal/workloads"
+)
+
+// Options configures an experiment environment.
+type Options struct {
+	// Scale multiplies ruleset sizes (0, 1]; 1 reproduces paper-size
+	// automata. Default 0.25.
+	Scale float64
+	// Size1MB and Size10MB are the byte counts standing in for the paper's
+	// 1 MB and 10 MB streams. Defaults: 128 KiB and 1 MiB (1/8 scale).
+	Size1MB  int
+	Size10MB int
+	// Seed fixes workload and trace randomness.
+	Seed int64
+	// Workers bounds simulator goroutines (not modelled hardware).
+	Workers int
+	// Benchmarks selects a subset by name; nil = all 19.
+	Benchmarks []string
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Size1MB == 0 {
+		o.Size1MB = 128 << 10
+	}
+	if o.Size10MB == 0 {
+		o.Size10MB = 1 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// SizeClass selects which of the paper's two stream sizes an experiment
+// uses.
+type SizeClass int
+
+const (
+	Size1MB SizeClass = iota
+	Size10MB
+)
+
+func (s SizeClass) String() string {
+	if s == Size10MB {
+		return "10 MB"
+	}
+	return "1 MB"
+}
+
+// Env caches built automata, traces, and PAP runs across experiments, so
+// regenerating all figures costs one run per (benchmark, ranks, size).
+// All methods are safe for concurrent use; concurrent requests for the
+// same artifact compute it once (singleflight via per-key sync.Once).
+type Env struct {
+	opts Options
+
+	mu     sync.Mutex
+	autos  map[string]*autoCell
+	traces map[traceKey]*traceCell
+	runs   map[runKey]*runCell
+}
+
+type autoCell struct {
+	once sync.Once
+	n    *nfa.NFA
+	err  error
+}
+
+type traceCell struct {
+	once sync.Once
+	t    []byte
+	err  error
+}
+
+type runCell struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+type traceKey struct {
+	name string
+	size SizeClass
+}
+
+type runKey struct {
+	name   string
+	ranks  int
+	size   SizeClass
+	config string // extra-config discriminator ("" = default)
+}
+
+// NewEnv creates an experiment environment.
+func NewEnv(opts Options) *Env {
+	return &Env{
+		opts:   opts.withDefaults(),
+		autos:  make(map[string]*autoCell),
+		traces: make(map[traceKey]*traceCell),
+		runs:   make(map[runKey]*runCell),
+	}
+}
+
+// Options returns the effective options.
+func (e *Env) Options() Options { return e.opts }
+
+// Specs returns the selected benchmark specs in Table 1 order.
+func (e *Env) Specs() ([]*workloads.Spec, error) {
+	if e.opts.Benchmarks == nil {
+		return workloads.All(), nil
+	}
+	var out []*workloads.Spec
+	for _, name := range e.opts.Benchmarks {
+		s, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Automaton builds (and caches) one benchmark automaton.
+func (e *Env) Automaton(name string) (*nfa.NFA, error) {
+	e.mu.Lock()
+	cell, ok := e.autos[name]
+	if !ok {
+		cell = &autoCell{}
+		e.autos[name] = cell
+	}
+	e.mu.Unlock()
+	cell.once.Do(func() {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		n, err := spec.Build(e.opts.Scale, e.opts.Seed)
+		if err != nil {
+			cell.err = fmt.Errorf("experiments: building %s: %w", name, err)
+			return
+		}
+		cell.n = n
+	})
+	return cell.n, cell.err
+}
+
+// Trace builds (and caches) one benchmark trace of a size class.
+func (e *Env) Trace(name string, size SizeClass) ([]byte, error) {
+	e.mu.Lock()
+	k := traceKey{name, size}
+	cell, ok := e.traces[k]
+	if !ok {
+		cell = &traceCell{}
+		e.traces[k] = cell
+	}
+	e.mu.Unlock()
+	cell.once.Do(func() {
+		n, err := e.Automaton(name)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		spec, _ := workloads.Get(name)
+		bytes := e.opts.Size1MB
+		if size == Size10MB {
+			bytes = e.opts.Size10MB
+		}
+		cell.t = spec.Trace(n, bytes, e.opts.Seed+int64(size))
+	})
+	return cell.t, cell.err
+}
+
+// baseConfig returns the PAP configuration for one benchmark.
+func (e *Env) baseConfig(spec *workloads.Spec, ranks int) core.Config {
+	cfg := core.DefaultConfig(ranks)
+	cfg.HalfCoresOverride = spec.PaperHalfCores
+	if e.opts.Workers > 0 {
+		cfg.Workers = e.opts.Workers
+	}
+	return cfg
+}
+
+// Run executes (and caches) PAP for one benchmark at the default
+// configuration.
+func (e *Env) Run(name string, ranks int, size SizeClass) (*core.Result, error) {
+	return e.RunConfigured(name, ranks, size, "", nil)
+}
+
+// RunConfigured executes PAP with an optional configuration mutation,
+// cached under the given discriminator key.
+func (e *Env) RunConfigured(name string, ranks int, size SizeClass, key string,
+	mutate func(*core.Config)) (*core.Result, error) {
+
+	e.mu.Lock()
+	rk := runKey{name, ranks, size, key}
+	cell, ok := e.runs[rk]
+	if !ok {
+		cell = &runCell{}
+		e.runs[rk] = cell
+	}
+	e.mu.Unlock()
+	cell.once.Do(func() {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		n, err := e.Automaton(name)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		trace, err := e.Trace(name, size)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cfg := e.baseConfig(spec, ranks)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := core.Run(n, trace, cfg)
+		if err != nil {
+			cell.err = fmt.Errorf("experiments: running %s: %w", name, err)
+			return
+		}
+		if err := res.CheckCorrect(); err != nil {
+			cell.err = fmt.Errorf("experiments: %s: %w", name, err)
+			return
+		}
+		cell.res = res
+	})
+	return cell.res, cell.err
+}
+
+// Prefetch executes the default-configuration runs for every selected
+// benchmark across the given ranks and sizes concurrently, bounded by
+// parallel workers (0 = NumCPU). Subsequent figure computations then read
+// from the cache. The first error is returned, but all runs are attempted.
+func (e *Env) Prefetch(ranks []int, sizes []SizeClass, parallel int) error {
+	specs, err := e.Specs()
+	if err != nil {
+		return err
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		name  string
+		ranks int
+		size  SizeClass
+	}
+	var jobs []job
+	for _, spec := range specs {
+		for _, r := range ranks {
+			for _, s := range sizes {
+				jobs = append(jobs, job{spec.Name, r, s})
+			}
+		}
+	}
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := e.Run(j.name, j.ranks, j.size); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// geomean computes the geometric mean of positive values.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

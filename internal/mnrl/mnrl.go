@@ -1,0 +1,150 @@
+// Package mnrl reads and writes a practical subset of MNRL, the JSON-based
+// automata interchange format of the MNCaRT ecosystem (the successor to
+// ANML, used by newer releases of the ANMLZoo tooling). Supported: networks
+// of homogeneous states ("hState" nodes) with symbol sets, the three enable
+// kinds, report IDs, and main-port activation edges. Other node types
+// (counters, booleans, lut) are rejected with a clear error.
+package mnrl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pap/internal/anml"
+	"pap/internal/nfa"
+)
+
+// Enable kinds of MNRL nodes.
+const (
+	enableOnActivateIn         = "onActivateIn"
+	enableOnStartAndActivateIn = "onStartAndActivateIn"
+	enableAlways               = "always"
+)
+
+type document struct {
+	ID    string `json:"id"`
+	Nodes []node `json:"nodes"`
+}
+
+type node struct {
+	ID         string       `json:"id"`
+	Type       string       `json:"type"`
+	Enable     string       `json:"enable,omitempty"`
+	Report     bool         `json:"report,omitempty"`
+	ReportID   *int32       `json:"reportId,omitempty"`
+	Attributes attributes   `json:"attributes"`
+	Outputs    []connection `json:"outputConnections,omitempty"`
+}
+
+type attributes struct {
+	SymbolSet string `json:"symbolSet"`
+}
+
+type connection struct {
+	PortID      string   `json:"portId"`
+	ActivateIDs []string `json:"activateIds"`
+}
+
+// Decode parses an MNRL document into a homogeneous NFA.
+func Decode(r io.Reader) (*nfa.NFA, error) {
+	var doc document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mnrl: %w", err)
+	}
+	name := doc.ID
+	if name == "" {
+		name = "mnrl"
+	}
+	b := nfa.NewBuilder(name)
+	ids := make(map[string]nfa.StateID, len(doc.Nodes))
+	for _, nd := range doc.Nodes {
+		if nd.ID == "" {
+			return nil, fmt.Errorf("mnrl: node without id")
+		}
+		if _, dup := ids[nd.ID]; dup {
+			return nil, fmt.Errorf("mnrl: duplicate node id %q", nd.ID)
+		}
+		if nd.Type != "hState" {
+			return nil, fmt.Errorf("mnrl: node %q has unsupported type %q (only hState networks execute here)", nd.ID, nd.Type)
+		}
+		cls, err := anml.ParseSymbolSet(nd.Attributes.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("mnrl: node %q: %w", nd.ID, err)
+		}
+		var flags nfa.Flags
+		switch nd.Enable {
+		case "", enableOnActivateIn:
+		case enableOnStartAndActivateIn:
+			flags |= nfa.StartOfData
+		case enableAlways:
+			flags |= nfa.AllInput
+		default:
+			return nil, fmt.Errorf("mnrl: node %q: unknown enable kind %q", nd.ID, nd.Enable)
+		}
+		id := b.AddState(cls, flags)
+		if nd.Report {
+			b.SetFlags(id, nfa.Report)
+			if nd.ReportID != nil {
+				b.SetReportCode(id, *nd.ReportID)
+			}
+		}
+		ids[nd.ID] = id
+	}
+	for _, nd := range doc.Nodes {
+		from := ids[nd.ID]
+		for _, conn := range nd.Outputs {
+			if conn.PortID != "" && conn.PortID != "main" {
+				return nil, fmt.Errorf("mnrl: node %q: unsupported output port %q", nd.ID, conn.PortID)
+			}
+			for _, target := range conn.ActivateIDs {
+				to, ok := ids[target]
+				if !ok {
+					return nil, fmt.Errorf("mnrl: node %q activates unknown node %q", nd.ID, target)
+				}
+				b.AddEdge(from, to)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Encode writes the automaton as an MNRL document.
+func Encode(w io.Writer, n *nfa.NFA) error {
+	doc := document{ID: n.Name()}
+	for q := 0; q < n.Len(); q++ {
+		st := n.State(nfa.StateID(q))
+		nd := node{
+			ID:         fmt.Sprintf("q%d", q),
+			Type:       "hState",
+			Enable:     enableOnActivateIn,
+			Attributes: attributes{SymbolSet: anml.FormatSymbolSet(st.Label)},
+		}
+		switch {
+		case st.Flags&nfa.StartOfData != 0:
+			nd.Enable = enableOnStartAndActivateIn
+		case st.Flags&nfa.AllInput != 0:
+			nd.Enable = enableAlways
+		}
+		if st.Flags&nfa.Report != 0 {
+			nd.Report = true
+			code := st.ReportCode
+			nd.ReportID = &code
+		}
+		if succ := n.Succ(nfa.StateID(q)); len(succ) > 0 {
+			conn := connection{PortID: "main"}
+			for _, c := range succ {
+				conn.ActivateIDs = append(conn.ActivateIDs, fmt.Sprintf("q%d", c))
+			}
+			nd.Outputs = []connection{conn}
+		}
+		doc.Nodes = append(doc.Nodes, nd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("mnrl: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package mnrl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pap/internal/engine"
+	"pap/internal/regex"
+)
+
+const sampleMNRL = `{
+  "id": "demo",
+  "nodes": [
+    {"id": "n0", "type": "hState", "enable": "always",
+     "attributes": {"symbolSet": "[a]"},
+     "outputConnections": [{"portId": "main", "activateIds": ["n1"]}]},
+    {"id": "n1", "type": "hState",
+     "attributes": {"symbolSet": "[b-c]"},
+     "report": true, "reportId": 5}
+  ]
+}`
+
+func TestDecodeSample(t *testing.T) {
+	n, err := Decode(strings.NewReader(sampleMNRL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 || n.Name() != "demo" {
+		t.Fatalf("decoded %d states name %q", n.Len(), n.Name())
+	}
+	res := engine.Run(n, []byte("xacxab"))
+	if len(res.Reports) != 2 || res.Reports[0].Code != 5 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"not-json":  "nope",
+		"no-id":     `{"id":"x","nodes":[{"type":"hState","attributes":{"symbolSet":"[a]"},"enable":"always"}]}`,
+		"dup-id":    `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"[a]"},"enable":"always"},{"id":"a","type":"hState","attributes":{"symbolSet":"[b]"}}]}`,
+		"bad-type":  `{"id":"x","nodes":[{"id":"a","type":"upCounter","attributes":{"symbolSet":"[a]"}}]}`,
+		"bad-set":   `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"abc"},"enable":"always"}]}`,
+		"bad-kind":  `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"[a]"},"enable":"sometimes"}]}`,
+		"bad-edge":  `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"[a]"},"enable":"always","outputConnections":[{"portId":"main","activateIds":["zz"]}]}]}`,
+		"bad-port":  `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"[a]"},"enable":"always","outputConnections":[{"portId":"cnt","activateIds":["a"]}]}]}`,
+		"no-starts": `{"id":"x","nodes":[{"id":"a","type":"hState","attributes":{"symbolSet":"[a]"}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	n, err := regex.CompilePatterns("rt", []string{"^start", "mid.dle", "[0-9]{3}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"hState"`, `"onStartAndActivateIn"`, `"always"`, `"reportId"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("encoded MNRL missing %s:\n%s", want, out)
+		}
+	}
+	m, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != n.Len() || m.Edges() != n.Edges() {
+		t.Fatalf("structure changed: %d/%d -> %d/%d", n.Len(), n.Edges(), m.Len(), m.Edges())
+	}
+	rng := rand.New(rand.NewSource(8))
+	input := make([]byte, 400)
+	corpus := "start middle 0123456789 x"
+	for i := range input {
+		input[i] = corpus[rng.Intn(len(corpus))]
+	}
+	if !engine.SameReports(engine.Run(n, input).Reports, engine.Run(m, input).Reports) {
+		t.Fatal("round trip changed behaviour")
+	}
+}

@@ -1,0 +1,163 @@
+package nfa
+
+import (
+	"fmt"
+)
+
+// Classical is a builder for textbook NFAs — labelled edges and ε-edges —
+// that Homogenize converts into the AP's homogeneous (ANML) form. It exists
+// for automata that are naturally expressed with ε-transitions, such as the
+// Levenshtein automata (deletions are ε-moves) used by the bioinformatics
+// benchmarks.
+type Classical struct {
+	name   string
+	states int
+	start  map[int]bool
+	accept map[int]int32 // state → report code
+	eps    map[int][]int
+	edges  []classicalEdge
+}
+
+type classicalEdge struct {
+	from, to int
+	class    Class
+}
+
+// NewClassical returns an empty classical-NFA builder.
+func NewClassical(name string) *Classical {
+	return &Classical{
+		name:   name,
+		start:  make(map[int]bool),
+		accept: make(map[int]int32),
+		eps:    make(map[int][]int),
+	}
+}
+
+// AddState adds a state and returns its index.
+func (c *Classical) AddState() int {
+	c.states++
+	return c.states - 1
+}
+
+// SetStart marks a state as a start state.
+func (c *Classical) SetStart(s int) { c.start[s] = true }
+
+// SetAccept marks a state as accepting with the given report code.
+func (c *Classical) SetAccept(s int, code int32) { c.accept[s] = code }
+
+// AddEdge adds a labelled transition.
+func (c *Classical) AddEdge(from, to int, class Class) {
+	c.edges = append(c.edges, classicalEdge{from: from, to: to, class: class})
+}
+
+// AddEps adds an ε-transition.
+func (c *Classical) AddEps(from, to int) {
+	c.eps[from] = append(c.eps[from], to)
+}
+
+// Homogenize converts the classical NFA into homogeneous form and appends
+// it to the builder b. One homogeneous state is created per (classical
+// target state, incoming label class) pair; ε-edges are eliminated by
+// closure. anchored selects StartOfData (true) or AllInput (false) starts.
+// Accepting homogeneous states report with the classical state's code.
+//
+// If a start state is also accepting (empty-string acceptance), Homogenize
+// returns an error: the AP reports on symbols, not on emptiness.
+func (c *Classical) Homogenize(b *Builder, anchored bool) error {
+	closure := c.epsClosures()
+	for s := range c.start {
+		for _, t := range closure[s] {
+			if _, ok := c.accept[t]; ok {
+				return fmt.Errorf("nfa: classical NFA %q accepts the empty string", c.name)
+			}
+		}
+	}
+
+	// One homogeneous state per (target, class). Classes are deduplicated
+	// by value so parallel edges with the same class share a state.
+	type key struct {
+		target int
+		class  Class
+	}
+	ids := make(map[key]StateID)
+	var order []key
+	for _, e := range c.edges {
+		k := key{target: e.to, class: e.class}
+		if _, ok := ids[k]; !ok {
+			var flags Flags
+			id := b.AddState(e.class, flags)
+			ids[k] = id
+			order = append(order, k)
+		}
+	}
+
+	startFlag := AllInput
+	if anchored {
+		startFlag = StartOfData
+	}
+	// Mark starts: homogeneous states reachable by one labelled edge from
+	// the ε-closure of any start state.
+	startReach := make(map[int]bool)
+	for s := range c.start {
+		for _, t := range closure[s] {
+			startReach[t] = true
+		}
+	}
+	for _, e := range c.edges {
+		if startReach[e.from] {
+			b.SetFlags(ids[key{e.to, e.class}], startFlag)
+		}
+	}
+
+	// Accepting: a homogeneous state reports if its classical target's
+	// ε-closure reaches an accepting state.
+	for _, k := range order {
+		for _, t := range closure[k.target] {
+			if code, ok := c.accept[t]; ok {
+				b.SetFlags(ids[k], Report)
+				b.SetReportCode(ids[k], code)
+				break
+			}
+		}
+	}
+
+	// Edges: homogeneous (s,c) → (s',c') iff a labelled edge (t,c',s')
+	// exists with t in the ε-closure of s.
+	outByFrom := make(map[int][]classicalEdge)
+	for _, e := range c.edges {
+		outByFrom[e.from] = append(outByFrom[e.from], e)
+	}
+	for _, k := range order {
+		from := ids[k]
+		for _, t := range closure[k.target] {
+			for _, e := range outByFrom[t] {
+				b.AddEdge(from, ids[key{e.to, e.class}])
+			}
+		}
+	}
+	return nil
+}
+
+// epsClosures returns, for each state, the list of states reachable via
+// ε-edges (including itself).
+func (c *Classical) epsClosures() [][]int {
+	out := make([][]int, c.states)
+	for s := 0; s < c.states; s++ {
+		seen := map[int]bool{s: true}
+		stack := []int{s}
+		var cl []int
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cl = append(cl, q)
+			for _, t := range c.eps[q] {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		out[s] = cl
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package nfa
+
+import (
+	"testing"
+)
+
+// runHomog executes a homogeneous NFA built in this package's tests with
+// the same semantics as package engine (duplicated minimally here to avoid
+// an import cycle: engine imports nfa).
+func runHomog(n *NFA, input []byte) []int {
+	enabled := map[StateID]bool{}
+	for _, q := range n.StartStates() {
+		enabled[q] = true
+	}
+	var reportOffsets []int
+	for i, sym := range input {
+		for _, q := range n.AllInputStates() {
+			enabled[q] = true
+		}
+		next := map[StateID]bool{}
+		for q := range enabled {
+			if !n.Label(q).Test(sym) {
+				continue
+			}
+			if n.State(q).Flags&Report != 0 {
+				reportOffsets = append(reportOffsets, i)
+			}
+			for _, c := range n.Succ(q) {
+				next[c] = true
+			}
+		}
+		enabled = next
+	}
+	return reportOffsets
+}
+
+// TestHomogenizeLinear: classical a->b->c with no ε must behave like the
+// anchored literal "abc".
+func TestHomogenizeLinear(t *testing.T) {
+	c := NewClassical("abc")
+	s0, s1, s2, s3 := c.AddState(), c.AddState(), c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s3, 1)
+	c.AddEdge(s0, s1, ClassOf('a'))
+	c.AddEdge(s1, s2, ClassOf('b'))
+	c.AddEdge(s2, s3, ClassOf('c'))
+	b := NewBuilder("abc")
+	if err := c.Homogenize(b, true); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	if n.Len() != 3 {
+		t.Fatalf("states = %d, want 3 (one per labelled edge target)", n.Len())
+	}
+	if got := runHomog(n, []byte("abc")); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("abc reports = %v", got)
+	}
+	if got := runHomog(n, []byte("abd")); len(got) != 0 {
+		t.Fatalf("abd reports = %v", got)
+	}
+	if got := runHomog(n, []byte("xabc")); len(got) != 0 {
+		t.Fatalf("anchored matched mid-stream: %v", got)
+	}
+}
+
+// TestHomogenizeEpsilon: ε-edges must be eliminated with closure semantics:
+// a(b|ε)c accepts "ac" and "abc".
+func TestHomogenizeEpsilon(t *testing.T) {
+	c := NewClassical("eps")
+	s0, s1, s2, s3 := c.AddState(), c.AddState(), c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s3, 0)
+	c.AddEdge(s0, s1, ClassOf('a'))
+	c.AddEdge(s1, s2, ClassOf('b'))
+	c.AddEps(s1, s2) // skip the b
+	c.AddEdge(s2, s3, ClassOf('c'))
+	b := NewBuilder("eps")
+	if err := c.Homogenize(b, true); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	for _, in := range []string{"ac", "abc"} {
+		if got := runHomog(n, []byte(in)); len(got) != 1 {
+			t.Fatalf("%s reports = %v", in, got)
+		}
+	}
+	if got := runHomog(n, []byte("abbc")); len(got) != 0 {
+		t.Fatalf("abbc reports = %v", got)
+	}
+}
+
+// TestHomogenizeEpsilonChainToAccept: ε-reaching an accept state makes the
+// predecessor's homogeneous state reporting.
+func TestHomogenizeEpsilonChainToAccept(t *testing.T) {
+	c := NewClassical("epsacc")
+	s0, s1, s2 := c.AddState(), c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s2, 5)
+	c.AddEdge(s0, s1, ClassOf('a'))
+	c.AddEps(s1, s2)
+	b := NewBuilder("epsacc")
+	if err := c.Homogenize(b, true); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	if got := runHomog(n, []byte("a")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reports = %v", got)
+	}
+	if n.State(0).ReportCode != 5 {
+		t.Fatalf("report code = %d", n.State(0).ReportCode)
+	}
+}
+
+// TestHomogenizeUnanchored: all-input starts fire at any offset.
+func TestHomogenizeUnanchored(t *testing.T) {
+	c := NewClassical("un")
+	s0, s1 := c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s1, 0)
+	c.AddEdge(s0, s1, ClassOf('x'))
+	b := NewBuilder("un")
+	if err := c.Homogenize(b, false); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	if got := runHomog(n, []byte("aaxaa")); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("reports = %v", got)
+	}
+}
+
+// TestHomogenizeEmptyStringRejected: a start state whose ε-closure accepts
+// must be rejected (the AP reports on symbols only).
+func TestHomogenizeEmptyStringRejected(t *testing.T) {
+	c := NewClassical("empty")
+	s0, s1 := c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.AddEps(s0, s1)
+	c.SetAccept(s1, 0)
+	b := NewBuilder("empty")
+	if err := c.Homogenize(b, true); err == nil {
+		t.Fatal("empty-string acceptor homogenized without error")
+	}
+}
+
+// TestHomogenizeSharedEdgeClasses: parallel edges with the same target and
+// class share one homogeneous state; different classes split.
+func TestHomogenizeSharedEdgeClasses(t *testing.T) {
+	c := NewClassical("shared")
+	s0, s1, s2 := c.AddState(), c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s2, 0)
+	c.AddEdge(s0, s2, ClassOf('a'))
+	c.AddEdge(s1, s2, ClassOf('a')) // same (target, class): shared
+	c.AddEdge(s0, s2, ClassOf('b')) // same target, new class: split
+	c.AddEdge(s0, s1, ClassOf('x'))
+	b := NewBuilder("shared")
+	if err := c.Homogenize(b, true); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	if n.Len() != 3 { // (s2,'a'), (s2,'b'), (s1,'x')
+		t.Fatalf("states = %d, want 3", n.Len())
+	}
+	for _, in := range []string{"a", "b", "xa"} {
+		if got := runHomog(n, []byte(in)); len(got) != 1 {
+			t.Fatalf("%s reports = %v", in, got)
+		}
+	}
+}
+
+// TestHomogenizeSelfEps: ε self-loops must not hang closure computation.
+func TestHomogenizeSelfEps(t *testing.T) {
+	c := NewClassical("selfeps")
+	s0, s1 := c.AddState(), c.AddState()
+	c.SetStart(s0)
+	c.SetAccept(s1, 0)
+	c.AddEps(s0, s0)
+	c.AddEdge(s0, s1, ClassOf('y'))
+	b := NewBuilder("selfeps")
+	if err := c.Homogenize(b, true); err != nil {
+		t.Fatal(err)
+	}
+	n := b.MustBuild()
+	if got := runHomog(n, []byte("y")); len(got) != 1 {
+		t.Fatalf("reports = %v", got)
+	}
+}

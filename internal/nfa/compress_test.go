@@ -1,0 +1,136 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trieUnion builds an uncompressed union of literal patterns: each pattern
+// is an independent chain, so shared prefixes are duplicated.
+func trieUnion(name string, patterns []string) *NFA {
+	b := NewBuilder(name)
+	for ri, p := range patterns {
+		var prev StateID = -1
+		for i := 0; i < len(p); i++ {
+			flags := Flags(0)
+			if i == 0 {
+				flags |= AllInput
+			}
+			id := b.AddState(ClassOf(p[i]), flags)
+			if i == len(p)-1 {
+				b.SetFlags(id, Report)
+				b.SetReportCode(id, int32(ri))
+			}
+			if prev >= 0 {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMergeCommonPrefixesReduces(t *testing.T) {
+	n := trieUnion("t", []string{"hello", "help", "hero"})
+	m := MergeCommonPrefixes(n)
+	// "he" is shared by all three and "hel" by two, and the cascade merges
+	// h, e, and one l: {h e l r l p o(R0) o(R2)} = 8 states.
+	if m.Len() >= n.Len() {
+		t.Fatalf("no reduction: %d -> %d", n.Len(), m.Len())
+	}
+	if m.Len() != 8 {
+		t.Fatalf("merged to %d states, want 8", m.Len())
+	}
+}
+
+func TestMergeCommonPrefixesNoFalseMerge(t *testing.T) {
+	// Different report codes on last states must not merge, and states with
+	// different labels must not merge.
+	n := trieUnion("t", []string{"ab", "ab"})
+	// Both rules are "ab" but report codes 0 and 1 differ on the 'b' states,
+	// so only the two 'a' states merge: 4 -> 3.
+	m := MergeCommonPrefixes(n)
+	if m.Len() != 3 {
+		t.Fatalf("merged to %d states, want 3", m.Len())
+	}
+	codes := map[int32]bool{}
+	for _, q := range m.ReportingStates() {
+		codes[m.State(q).ReportCode] = true
+	}
+	if !codes[0] || !codes[1] {
+		t.Fatalf("lost report codes: %v", codes)
+	}
+}
+
+func TestMergeFixpoint(t *testing.T) {
+	n := trieUnion("t", []string{"abcde", "abcdf"})
+	m := MergeCommonPrefixes(n)
+	// Shared prefix "abcd" merges fully: 10 -> 6.
+	if m.Len() != 6 {
+		t.Fatalf("merged to %d states, want 6", m.Len())
+	}
+	// Idempotent.
+	m2 := MergeCommonPrefixes(m)
+	if m2.Len() != m.Len() {
+		t.Fatalf("second merge changed size: %d -> %d", m.Len(), m2.Len())
+	}
+}
+
+func TestMergeKeepsSelfLoopsApart(t *testing.T) {
+	// Two states with self-loops have themselves in their parent sets, so
+	// they must never merge even with identical labels.
+	b := NewBuilder("loops")
+	a := b.AddState(ClassOf('x'), AllInput)
+	c := b.AddState(ClassOf('x'), AllInput)
+	b.AddEdge(a, a)
+	b.AddEdge(c, c)
+	r := b.AddReportState(ClassOf('y'), 0, 0)
+	b.AddEdge(a, r)
+	n := b.MustBuild()
+	m := MergeCommonPrefixes(n)
+	if m.Len() != 3 {
+		t.Fatalf("self-loop states merged: %d states, want 3", m.Len())
+	}
+}
+
+// randomTrie generates patterns with heavy prefix sharing for the
+// language-preservation test.
+func randomTrie(rng *rand.Rand, k int) []string {
+	prefixes := []string{"GET /", "POST /", "HTTP", "evil"}
+	var out []string
+	for i := 0; i < k; i++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		for j := 0; j < 2+rng.Intn(5); j++ {
+			p += string(rune('a' + rng.Intn(4)))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestMergePreservesStructure checks that compression preserves the set of
+// report codes and never increases states, for random pattern sets.
+// (Language preservation is verified end-to-end in package engine's tests,
+// which execute both versions.)
+func TestMergePreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		pats := randomTrie(rng, 8)
+		n := trieUnion("t", pats)
+		m := MergeCommonPrefixes(n)
+		if m.Len() > n.Len() {
+			t.Fatalf("merge grew automaton: %d -> %d", n.Len(), m.Len())
+		}
+		want := map[int32]bool{}
+		for _, q := range n.ReportingStates() {
+			want[n.State(q).ReportCode] = true
+		}
+		got := map[int32]bool{}
+		for _, q := range m.ReportingStates() {
+			got[m.State(q).ReportCode] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("report codes changed: %v -> %v", want, got)
+		}
+	}
+}

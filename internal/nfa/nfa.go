@@ -1,0 +1,254 @@
+// Package nfa defines the homogeneous non-deterministic finite automaton
+// model used throughout the repository, together with the structural
+// analyses the Parallel Automata Processor relies on: symbol ranges,
+// connected components, parent groups, and common-prefix compression.
+//
+// A homogeneous NFA (the "ANML" representation of the Micron AP) labels
+// each state with one symbol class; all transitions into a state implicitly
+// carry that state's label. Execution semantics (see package engine): a
+// state fires at step t if it is enabled and the input symbol matches its
+// label; firing reports (if the state reports) and enables its children for
+// step t+1. All-input start states are enabled at every step; start-of-data
+// states only at step 0.
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"pap/internal/bitset"
+)
+
+// StateID identifies a state within one NFA.
+type StateID int32
+
+// Flags describe per-state roles.
+type Flags uint8
+
+const (
+	// StartOfData marks a state enabled at position 0 only.
+	StartOfData Flags = 1 << iota
+	// AllInput marks a state enabled at every position (ANML "start on all
+	// input"); these implement unanchored match-anywhere patterns and are
+	// the core of the paper's Active State Group.
+	AllInput
+	// Report marks an accepting state; firing emits a report event.
+	Report
+)
+
+// State is the immutable description of one homogeneous-NFA state.
+type State struct {
+	Label Class
+	Flags Flags
+	// ReportCode identifies which rule/pattern this reporting state belongs
+	// to (the AP's output-region report code). Zero for non-reporting states.
+	ReportCode int32
+}
+
+// NFA is an immutable homogeneous automaton. Build one with a Builder.
+type NFA struct {
+	name   string
+	states []State
+	succ   [][]StateID // children per state, sorted, deduplicated
+	pred   [][]StateID // parents per state, sorted, deduplicated
+
+	startOfData []StateID
+	allInput    []StateID
+
+	// lazily computed analyses (never mutated after first computation; the
+	// NFA is used from a single goroutine during planning, and engines only
+	// read precomputed fields).
+	cc       []int32
+	ccCount  int
+	ccMasks  []*bitset.Set
+	rangeTab []rangeEntry
+}
+
+type rangeEntry struct {
+	computed bool
+	states   []StateID // sorted union of children of all σ-labelled states
+}
+
+// Name returns the automaton's name (for reporting).
+func (n *NFA) Name() string { return n.name }
+
+// Len returns the number of states.
+func (n *NFA) Len() int { return len(n.states) }
+
+// State returns the description of state q.
+func (n *NFA) State(q StateID) State { return n.states[q] }
+
+// Label returns the symbol class of state q.
+func (n *NFA) Label(q StateID) Class { return n.states[q].Label }
+
+// Succ returns the children of q. The returned slice must not be modified.
+func (n *NFA) Succ(q StateID) []StateID { return n.succ[q] }
+
+// Pred returns the parents of q. The returned slice must not be modified.
+func (n *NFA) Pred(q StateID) []StateID { return n.pred[q] }
+
+// StartStates returns the start-of-data states. Callers must not modify it.
+func (n *NFA) StartStates() []StateID { return n.startOfData }
+
+// AllInputStates returns the all-input (always re-enabled) states.
+func (n *NFA) AllInputStates() []StateID { return n.allInput }
+
+// Edges returns the total number of transitions.
+func (n *NFA) Edges() int {
+	e := 0
+	for _, s := range n.succ {
+		e += len(s)
+	}
+	return e
+}
+
+// ReportingStates returns all states with the Report flag, ascending.
+func (n *NFA) ReportingStates() []StateID {
+	var out []StateID
+	for q := range n.states {
+		if n.states[q].Flags&Report != 0 {
+			out = append(out, StateID(q))
+		}
+	}
+	return out
+}
+
+// Builder incrementally constructs an NFA.
+type Builder struct {
+	name   string
+	states []State
+	succ   [][]StateID
+}
+
+// NewBuilder returns an empty builder for an automaton with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Len returns the number of states added so far.
+func (b *Builder) Len() int { return len(b.states) }
+
+// AddState appends a state and returns its ID.
+func (b *Builder) AddState(label Class, flags Flags) StateID {
+	b.states = append(b.states, State{Label: label, Flags: flags})
+	b.succ = append(b.succ, nil)
+	return StateID(len(b.states) - 1)
+}
+
+// AddReportState appends a reporting state carrying the given report code.
+func (b *Builder) AddReportState(label Class, flags Flags, code int32) StateID {
+	id := b.AddState(label, flags|Report)
+	b.states[id].ReportCode = code
+	return id
+}
+
+// SetFlags adds flags to an existing state.
+func (b *Builder) SetFlags(q StateID, f Flags) { b.states[q].Flags |= f }
+
+// SetReportCode sets the report code of an existing state.
+func (b *Builder) SetReportCode(q StateID, code int32) { b.states[q].ReportCode = code }
+
+// AddEdge adds a transition from → to. Duplicates are removed at Build time.
+func (b *Builder) AddEdge(from, to StateID) {
+	if int(from) >= len(b.states) || int(to) >= len(b.states) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("nfa: AddEdge(%d,%d) out of range (%d states)", from, to, len(b.states)))
+	}
+	b.succ[from] = append(b.succ[from], to)
+}
+
+// Build finalizes the automaton: edges are sorted and deduplicated, parent
+// lists are derived, and start-state lists are extracted. Build returns an
+// error if the automaton has no states or no start states.
+func (b *Builder) Build() (*NFA, error) {
+	if len(b.states) == 0 {
+		return nil, fmt.Errorf("nfa %q: no states", b.name)
+	}
+	n := &NFA{
+		name:   b.name,
+		states: b.states,
+		succ:   make([][]StateID, len(b.states)),
+		pred:   make([][]StateID, len(b.states)),
+	}
+	predCount := make([]int, len(b.states))
+	for from, children := range b.succ {
+		n.succ[from] = dedupeIDs(children)
+		for _, to := range n.succ[from] {
+			predCount[to]++
+		}
+		_ = from
+	}
+	for to, c := range predCount {
+		n.pred[to] = make([]StateID, 0, c)
+	}
+	for from, children := range n.succ {
+		for _, to := range children {
+			n.pred[to] = append(n.pred[to], StateID(from))
+		}
+	}
+	for q, s := range n.states {
+		if s.Flags&StartOfData != 0 {
+			n.startOfData = append(n.startOfData, StateID(q))
+		}
+		if s.Flags&AllInput != 0 {
+			n.allInput = append(n.allInput, StateID(q))
+		}
+	}
+	if len(n.startOfData)+len(n.allInput) == 0 {
+		return nil, fmt.Errorf("nfa %q: no start states", b.name)
+	}
+	n.rangeTab = make([]rangeEntry, 256)
+	return n, nil
+}
+
+// MustBuild is Build that panics on error, for use in generators and tests
+// where the construction is known to be valid.
+func (b *Builder) MustBuild() *NFA {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func dedupeIDs(ids []StateID) []StateID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Union returns a new automaton containing disjoint copies of a and b
+// (their components never interact; report codes are preserved as-is, so
+// callers combining independently numbered rulesets should offset codes
+// first). The result is named after a.
+func Union(a, b *NFA) *NFA {
+	bl := NewBuilder(a.name)
+	copyInto := func(src *NFA) StateID {
+		base := StateID(bl.Len())
+		for q := 0; q < src.Len(); q++ {
+			s := src.states[q]
+			id := bl.AddState(s.Label, s.Flags)
+			bl.SetReportCode(id, s.ReportCode)
+		}
+		for q := 0; q < src.Len(); q++ {
+			for _, c := range src.succ[q] {
+				bl.AddEdge(base+StateID(q), base+c)
+			}
+		}
+		return base
+	}
+	copyInto(a)
+	copyInto(b)
+	out, err := bl.Build()
+	if err != nil {
+		panic(err) // cannot happen: inputs were valid automata
+	}
+	return out
+}

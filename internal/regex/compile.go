@@ -1,0 +1,143 @@
+package regex
+
+import (
+	"fmt"
+
+	"pap/internal/nfa"
+)
+
+// glushkov computes the position automaton of an AST: one state ("position")
+// per literal/class occurrence, which is exactly the homogeneous form the
+// AP executes. Because expandRepeat shares sub-ASTs, positions are assigned
+// during the walk, so shared subtrees are correctly duplicated.
+type glushkov struct {
+	classes []nfa.Class
+	follow  [][]int
+}
+
+type ginfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (g *glushkov) walk(nd node) ginfo {
+	switch t := nd.(type) {
+	case *emptyNode:
+		return ginfo{nullable: true}
+	case *litNode:
+		p := len(g.classes)
+		g.classes = append(g.classes, t.class)
+		g.follow = append(g.follow, nil)
+		return ginfo{first: []int{p}, last: []int{p}}
+	case *catNode:
+		acc := ginfo{nullable: true}
+		for _, sub := range t.subs {
+			in := g.walk(sub)
+			// follow(last(acc)) += first(in)
+			for _, l := range acc.last {
+				g.follow[l] = append(g.follow[l], in.first...)
+			}
+			if acc.nullable {
+				acc.first = append(acc.first, in.first...)
+			}
+			if in.nullable {
+				acc.last = append(acc.last, in.last...)
+			} else {
+				acc.last = in.last
+			}
+			acc.nullable = acc.nullable && in.nullable
+		}
+		return acc
+	case *altNode:
+		var acc ginfo
+		for _, sub := range t.subs {
+			in := g.walk(sub)
+			acc.nullable = acc.nullable || in.nullable
+			acc.first = append(acc.first, in.first...)
+			acc.last = append(acc.last, in.last...)
+		}
+		return acc
+	case *starNode:
+		in := g.walk(t.sub)
+		for _, l := range in.last {
+			g.follow[l] = append(g.follow[l], in.first...)
+		}
+		in.nullable = true
+		return in
+	case *plusNode:
+		in := g.walk(t.sub)
+		for _, l := range in.last {
+			g.follow[l] = append(g.follow[l], in.first...)
+		}
+		return in
+	case *questNode:
+		in := g.walk(t.sub)
+		in.nullable = true
+		return in
+	default:
+		panic(fmt.Sprintf("regex: unknown AST node %T", nd))
+	}
+}
+
+// Rule pairs a pattern with the report code its matches carry.
+type Rule struct {
+	Pattern string
+	Code    int32
+}
+
+// CompileSet compiles a ruleset into a single homogeneous NFA named name.
+// Each rule becomes an independent sub-automaton (its own connected
+// component unless MergeCommonPrefixes later folds shared prefixes);
+// matches of rule i report with code rules[i].Code. Unanchored rules match
+// anywhere: their first positions become all-input start states, the AP
+// realisation of an implicit '.*' prefix.
+func CompileSet(name string, rules []Rule) (*nfa.NFA, error) {
+	b := nfa.NewBuilder(name)
+	for ri, rule := range rules {
+		root, anchored, err := parse(rule.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", ri, err)
+		}
+		g := &glushkov{}
+		in := g.walk(root)
+		if in.nullable {
+			return nil, fmt.Errorf("rule %d: pattern %q matches the empty string", ri, rule.Pattern)
+		}
+		base := nfa.StateID(b.Len())
+		startFlag := nfa.AllInput
+		if anchored {
+			startFlag = nfa.StartOfData
+		}
+		for _, cls := range g.classes {
+			b.AddState(cls, 0)
+		}
+		for _, p := range in.first {
+			b.SetFlags(base+nfa.StateID(p), startFlag)
+		}
+		for _, p := range in.last {
+			b.SetFlags(base+nfa.StateID(p), nfa.Report)
+			b.SetReportCode(base+nfa.StateID(p), rule.Code)
+		}
+		for p, fs := range g.follow {
+			for _, q := range fs {
+				b.AddEdge(base+nfa.StateID(p), base+nfa.StateID(q))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompilePatterns is CompileSet with report codes equal to rule indices.
+func CompilePatterns(name string, patterns []string) (*nfa.NFA, error) {
+	rules := make([]Rule, len(patterns))
+	for i, p := range patterns {
+		rules[i] = Rule{Pattern: p, Code: int32(i)}
+	}
+	return CompileSet(name, rules)
+}
+
+// Compile compiles a single pattern; matches report with code 0.
+func Compile(pattern string) (*nfa.NFA, error) {
+	return CompilePatterns(pattern, []string{pattern})
+}

@@ -1,0 +1,69 @@
+package regex
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"pap/internal/engine"
+)
+
+// FuzzCompileAgainstStdlib cross-validates the compiler+engine against the
+// standard library on arbitrary pattern/input pairs: whenever both accept
+// the pattern, the set of match-end offsets must agree.
+func FuzzCompileAgainstStdlib(f *testing.F) {
+	seeds := []struct{ pat, in string }{
+		{"abc", "xxabcxx"},
+		{"a.c", "a\nc abc"},
+		{"(ab|cd)+e", "ababcde"},
+		{"[a-f]{2,4}x", "abcdx"},
+		{"^anchor", "anchored"},
+		{"a(|b)c", "ac abc"},
+		{`\d+\.\d+`, "pi=3.14"},
+	}
+	for _, s := range seeds {
+		f.Add(s.pat, s.in)
+	}
+	f.Fuzz(func(t *testing.T, pat, in string) {
+		if len(pat) > 64 || len(in) > 128 {
+			return
+		}
+		n, err := Compile(pat)
+		if err != nil {
+			return // our subset rejects it; nothing to compare
+		}
+		if n.Len() > 512 {
+			return // pathological expansion; skip for fuzz speed
+		}
+		anchored := strings.HasPrefix(pat, "^")
+		body := strings.TrimPrefix(pat, "^")
+		var re *regexp.Regexp
+		if anchored {
+			re, err = regexp.Compile(`(?s)\A(?:` + body + `)\z`)
+		} else {
+			re, err = regexp.Compile(`(?s)(?:` + body + `)\z`)
+		}
+		if err != nil {
+			return // pattern valid for us but not stdlib (e.g. nested repeat quirks)
+		}
+		res := engine.Run(n, []byte(in))
+		got := map[int64]bool{}
+		for _, r := range res.Reports {
+			got[r.Offset] = true
+		}
+		want := map[int64]bool{}
+		for e := 1; e <= len(in); e++ {
+			if re.MatchString(in[:e]) {
+				want[int64(e-1)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pattern %q input %q: got %v want %v", pat, in, got, want)
+		}
+		for k := range got {
+			if !want[k] {
+				t.Fatalf("pattern %q input %q: spurious end %d", pat, in, k)
+			}
+		}
+	})
+}

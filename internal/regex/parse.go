@@ -1,0 +1,410 @@
+// Package regex compiles a practical subset of PCRE syntax into homogeneous
+// NFAs via the Glushkov (position) construction, which yields exactly the
+// ANML form the AP consumes: one symbol class per state, transitions with
+// no labels of their own.
+//
+// Supported syntax: literals, '.', escapes (\n \r \t \f \v \0 \xHH \d \D
+// \w \W \s \S and escaped metacharacters), character classes with ranges
+// and negation, alternation '|', groups '(...)' (non-capturing; '(?:' is
+// accepted too), quantifiers '*' '+' '?' and bounded repetition '{m}',
+// '{m,}', '{m,n}' (n ≤ 255), and the '^' start anchor. Patterns without a
+// leading '^' match anywhere (an implicit '.*' prefix, realised as
+// all-input start states, as on the AP). The '$' anchor is not supported:
+// the AP has no end-of-data event; rulesets for it do not use '$'.
+package regex
+
+import (
+	"fmt"
+	"strconv"
+
+	"pap/internal/nfa"
+)
+
+// node is a parsed regex AST node.
+type node interface{}
+
+type litNode struct{ class nfa.Class } // one symbol position
+type catNode struct{ subs []node }
+type altNode struct{ subs []node }
+type starNode struct{ sub node }  // zero or more
+type plusNode struct{ sub node }  // one or more
+type questNode struct{ sub node } // zero or one
+type emptyNode struct{}           // matches the empty string
+
+// SyntaxError describes a parse failure with its position in the pattern.
+type SyntaxError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex: %s at offset %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) fail(msg string) error {
+	return &SyntaxError{Pattern: p.src, Pos: p.pos, Msg: msg}
+}
+
+func (p *parser) eof() bool     { return p.pos >= len(p.src) }
+func (p *parser) peek() byte    { return p.src[p.pos] }
+func (p *parser) advance() byte { b := p.src[p.pos]; p.pos++; return b }
+
+// parse parses a full pattern, returning the AST and whether it was
+// anchored at the start with '^'.
+func parse(pattern string) (root node, anchored bool, err error) {
+	p := &parser{src: pattern}
+	if !p.eof() && p.peek() == '^' {
+		anchored = true
+		p.pos++
+	}
+	root, err = p.alternation()
+	if err != nil {
+		return nil, false, err
+	}
+	if !p.eof() {
+		return nil, false, p.fail(fmt.Sprintf("unexpected %q", p.peek()))
+	}
+	return root, anchored, nil
+}
+
+func (p *parser) alternation() (node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &altNode{subs: subs}, nil
+}
+
+func (p *parser) concat() (node, error) {
+	var subs []node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		atom, err := p.repeatable()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, atom)
+	}
+	switch len(subs) {
+	case 0:
+		return &emptyNode{}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &catNode{subs: subs}, nil
+}
+
+// maxBoundedRepeat caps {m,n} expansion; the AP compiler similarly unrolls
+// bounded repetitions into STE chains.
+const maxBoundedRepeat = 255
+
+func (p *parser) repeatable() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = &starNode{sub: atom}
+		case '+':
+			p.pos++
+			atom = &plusNode{sub: atom}
+		case '?':
+			p.pos++
+			atom = &questNode{sub: atom}
+		case '{':
+			rep, ok, err := p.tryBrace()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil
+			}
+			atom = expandRepeat(atom, rep.min, rep.max, rep.unbounded)
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+type braceRepeat struct {
+	min, max  int
+	unbounded bool
+}
+
+// tryBrace parses "{m}", "{m,}", "{m,n}". A '{' that does not start a valid
+// repetition is treated as a literal (common in real rulesets, e.g. ClamAV
+// signatures contain raw braces).
+func (p *parser) tryBrace() (braceRepeat, bool, error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	numStart := p.pos
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.pos++
+	}
+	if p.pos == numStart {
+		p.pos = start
+		return braceRepeat{}, false, nil
+	}
+	minV, _ := strconv.Atoi(p.src[numStart:p.pos])
+	rep := braceRepeat{min: minV, max: minV}
+	if !p.eof() && p.peek() == ',' {
+		p.pos++
+		numStart = p.pos
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		if p.pos == numStart {
+			rep.unbounded = true
+		} else {
+			rep.max, _ = strconv.Atoi(p.src[numStart:p.pos])
+		}
+	}
+	if p.eof() || p.peek() != '}' {
+		p.pos = start
+		return braceRepeat{}, false, nil
+	}
+	p.pos++ // consume '}'
+	if rep.max > maxBoundedRepeat || rep.min > maxBoundedRepeat {
+		return braceRepeat{}, false, &SyntaxError{Pattern: p.src, Pos: start,
+			Msg: fmt.Sprintf("repetition bound exceeds %d", maxBoundedRepeat)}
+	}
+	if !rep.unbounded && rep.max < rep.min {
+		return braceRepeat{}, false, &SyntaxError{Pattern: p.src, Pos: start,
+			Msg: "repetition max < min"}
+	}
+	return rep, true, nil
+}
+
+// expandRepeat unrolls X{m,n} (or X{m,} when unbounded) into concatenation,
+// optionals and a trailing star. The sub-AST is shared between copies; the
+// Glushkov compiler duplicates positions when it walks the tree via
+// countPositions/compile, so sharing is only safe because the AST is
+// immutable — which it is.
+func expandRepeat(sub node, min, max int, unbounded bool) node {
+	var subs []node
+	for i := 0; i < min; i++ {
+		subs = append(subs, sub)
+	}
+	if unbounded {
+		subs = append(subs, &starNode{sub: sub})
+	} else {
+		for i := min; i < max; i++ {
+			subs = append(subs, &questNode{sub: sub})
+		}
+	}
+	switch len(subs) {
+	case 0:
+		return &emptyNode{}
+	case 1:
+		return subs[0]
+	}
+	return &catNode{subs: subs}
+}
+
+func (p *parser) atom() (node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		// Accept and ignore the non-capturing group marker.
+		if p.pos+1 < len(p.src) && p.peek() == '?' && p.src[p.pos+1] == ':' {
+			p.pos += 2
+		}
+		sub, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.fail("missing ')'")
+		}
+		p.pos++
+		return sub, nil
+	case ')':
+		return nil, p.fail("unexpected ')'")
+	case '[':
+		cls, err := p.class()
+		if err != nil {
+			return nil, err
+		}
+		return &litNode{class: cls}, nil
+	case '.':
+		p.pos++
+		return &litNode{class: nfa.AnyClass()}, nil
+	case '\\':
+		cls, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return &litNode{class: cls}, nil
+	case '*', '+', '?':
+		return nil, p.fail(fmt.Sprintf("dangling quantifier %q", c))
+	case '$':
+		return nil, p.fail("'$' end anchor is not supported (no end-of-data event on the AP)")
+	case '^':
+		return nil, p.fail("'^' is only valid at the start of the pattern")
+	default:
+		p.pos++
+		return &litNode{class: nfa.ClassOf(c)}, nil
+	}
+}
+
+// escape parses a '\'-escape and returns its symbol class.
+func (p *parser) escape() (nfa.Class, error) {
+	p.pos++ // consume '\'
+	if p.eof() {
+		return nfa.Class{}, p.fail("trailing backslash")
+	}
+	c := p.advance()
+	switch c {
+	case 'n':
+		return nfa.ClassOf('\n'), nil
+	case 'r':
+		return nfa.ClassOf('\r'), nil
+	case 't':
+		return nfa.ClassOf('\t'), nil
+	case 'f':
+		return nfa.ClassOf('\f'), nil
+	case 'v':
+		return nfa.ClassOf('\v'), nil
+	case '0':
+		return nfa.ClassOf(0), nil
+	case 'a':
+		return nfa.ClassOf(7), nil
+	case 'e':
+		return nfa.ClassOf(27), nil
+	case 'd':
+		return classDigit, nil
+	case 'D':
+		return classDigit.Negate(), nil
+	case 'w':
+		return classWord, nil
+	case 'W':
+		return classWord.Negate(), nil
+	case 's':
+		return classSpace, nil
+	case 'S':
+		return classSpace.Negate(), nil
+	case 'x':
+		if p.pos+1 >= len(p.src) {
+			return nfa.Class{}, p.fail("truncated \\x escape")
+		}
+		hi, ok1 := unhex(p.advance())
+		lo, ok2 := unhex(p.advance())
+		if !ok1 || !ok2 {
+			return nfa.Class{}, p.fail("invalid \\x escape")
+		}
+		return nfa.ClassOf(hi<<4 | lo), nil
+	default:
+		// Escaped metacharacter or any other byte: literal.
+		return nfa.ClassOf(c), nil
+	}
+}
+
+// class parses a bracket expression "[...]" including negation and ranges.
+func (p *parser) class() (nfa.Class, error) {
+	p.pos++ // consume '['
+	var cls nfa.Class
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nfa.Class{}, p.fail("missing ']'")
+		}
+		c := p.peek()
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		var lo nfa.Class
+		if c == '\\' {
+			var err error
+			lo, err = p.escape()
+			if err != nil {
+				return nfa.Class{}, err
+			}
+		} else {
+			p.pos++
+			lo = nfa.ClassOf(c)
+		}
+		// Range "a-z": only when lo is a single symbol and '-' is not last.
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' && lo.Count() == 1 {
+			p.pos++ // consume '-'
+			var hiCls nfa.Class
+			if p.peek() == '\\' {
+				var err error
+				hiCls, err = p.escape()
+				if err != nil {
+					return nfa.Class{}, err
+				}
+			} else {
+				hiCls = nfa.ClassOf(p.advance())
+			}
+			if hiCls.Count() != 1 {
+				return nfa.Class{}, p.fail("invalid range endpoint")
+			}
+			loSym, hiSym := lo.Pick(0), hiCls.Pick(0)
+			if hiSym < loSym {
+				return nfa.Class{}, p.fail("reversed range")
+			}
+			cls.AddRange(loSym, hiSym)
+			continue
+		}
+		cls = cls.Union(lo)
+	}
+	if negate {
+		cls = cls.Negate()
+	}
+	if cls.Empty() {
+		return nfa.Class{}, p.fail("empty character class")
+	}
+	return cls, nil
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+var (
+	classDigit = nfa.ClassRange('0', '9')
+	classWord  = func() nfa.Class {
+		c := nfa.ClassRange('a', 'z')
+		c.AddRange('A', 'Z')
+		c.AddRange('0', '9')
+		c.Add('_')
+		return c
+	}()
+	classSpace = nfa.ClassOf(' ', '\t', '\n', '\r', '\f', '\v')
+)

@@ -1,0 +1,326 @@
+package regex
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// matchEnds runs our automaton for the pattern over input and returns the
+// set of offsets where a match ends.
+func matchEnds(t *testing.T, pattern string, input []byte) map[int64]bool {
+	t.Helper()
+	n, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	res := engine.Run(n, input)
+	ends := map[int64]bool{}
+	for _, r := range res.Reports {
+		ends[r.Offset] = true
+	}
+	return ends
+}
+
+// goldenEnds computes the same set with the standard library: offset t is a
+// match end iff some suffix of input[:t+1] matches the pattern (anchored at
+// its end). Quadratic, for small inputs only.
+func goldenEnds(t *testing.T, pattern string, input []byte) map[int64]bool {
+	t.Helper()
+	anchored := strings.HasPrefix(pattern, "^")
+	body := strings.TrimPrefix(pattern, "^")
+	var re *regexp.Regexp
+	var err error
+	if anchored {
+		re, err = regexp.Compile(`(?s)\A(?:` + body + `)\z`)
+	} else {
+		re, err = regexp.Compile(`(?s)(?:` + body + `)\z`)
+	}
+	if err != nil {
+		t.Fatalf("stdlib compile %q: %v", pattern, err)
+	}
+	ends := map[int64]bool{}
+	for e := 1; e <= len(input); e++ {
+		if anchored {
+			if re.Match(input[:e]) {
+				ends[int64(e-1)] = true
+			}
+			continue
+		}
+		if re.Match(input[:e]) {
+			ends[int64(e-1)] = true
+		}
+	}
+	return ends
+}
+
+func sameEnds(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstStdlib(t *testing.T, pattern string, inputs ...string) {
+	t.Helper()
+	for _, in := range inputs {
+		got := matchEnds(t, pattern, []byte(in))
+		want := goldenEnds(t, pattern, []byte(in))
+		if !sameEnds(got, want) {
+			t.Errorf("pattern %q input %q:\n got %v\nwant %v", pattern, in, got, want)
+		}
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	checkAgainstStdlib(t, "abc", "abc", "xabcx", "ababc", "ab", "")
+}
+
+func TestAnchored(t *testing.T) {
+	checkAgainstStdlib(t, "^abc", "abc", "xabc", "abcabc")
+}
+
+func TestAlternation(t *testing.T) {
+	checkAgainstStdlib(t, "cat|dog|bird", "a cat and a dog", "bir bird", "")
+	checkAgainstStdlib(t, "a(b|c)d", "abd acd add", "abcd")
+}
+
+func TestQuantifiers(t *testing.T) {
+	checkAgainstStdlib(t, "ab*c", "ac abc abbbbc", "abb")
+	checkAgainstStdlib(t, "ab+c", "ac abc abbbbc")
+	checkAgainstStdlib(t, "ab?c", "ac abc abbc")
+	checkAgainstStdlib(t, "a.*z", "a123z..z", "az", "a\nz") // '.' matches all bytes here
+}
+
+func TestDotMatchesNewline(t *testing.T) {
+	// Our '.' is any byte (AP semantics); the golden uses (?s) to match.
+	checkAgainstStdlib(t, "a.c", "a\nc", "axc")
+}
+
+func TestBoundedRepeat(t *testing.T) {
+	checkAgainstStdlib(t, "a{3}", "aaaa", "aa")
+	checkAgainstStdlib(t, "a{2,4}b", "aab aaab aaaab aaaaab", "ab")
+	checkAgainstStdlib(t, "(ab){2,3}", "ababab abab ab")
+	checkAgainstStdlib(t, "a{2,}b", "ab aab aaaaab")
+	checkAgainstStdlib(t, "x{0,2}y", "y xy xxy xxxy")
+}
+
+func TestCharClasses(t *testing.T) {
+	checkAgainstStdlib(t, "[abc]+d", "abcd", "zd", "aad")
+	checkAgainstStdlib(t, "[a-f0-3]x", "ax 0x 3x gx 4x")
+	checkAgainstStdlib(t, "[^a-z]z", "Az az 9z")
+	checkAgainstStdlib(t, `\d+`, "a123b", "xyz")
+	checkAgainstStdlib(t, `\w+@\w+`, "mail me@example now")
+	checkAgainstStdlib(t, `\s`, "a b\tc")
+	checkAgainstStdlib(t, `[\d]x`, "1x ax")
+	checkAgainstStdlib(t, `a[-x]b`, "a-b axb azb") // literal '-' at class edge
+}
+
+func TestEscapes(t *testing.T) {
+	checkAgainstStdlib(t, `a\.b`, "a.b axb")
+	checkAgainstStdlib(t, `a\\b`, `a\b ab`)
+	checkAgainstStdlib(t, `\x41\x42`, "AB ab")
+	checkAgainstStdlib(t, "a\\tb", "a\tb a b")
+}
+
+func TestEmptyAlternationBranch(t *testing.T) {
+	// "a(|b)" matches "a" and "ab"; the empty branch is fine as long as the
+	// whole pattern is not nullable.
+	checkAgainstStdlib(t, "a(|b)", "a ab abb")
+}
+
+func TestGroups(t *testing.T) {
+	checkAgainstStdlib(t, "(ab)+c", "ababc abc ac")
+	checkAgainstStdlib(t, "(?:ab|cd)e", "abe cde abcde")
+	checkAgainstStdlib(t, "((a|b)c)+d", "acbcd acd")
+}
+
+func TestLiteralBrace(t *testing.T) {
+	// A '{' that is not a valid repetition is a literal.
+	checkAgainstStdlib(t, "a\\{b", "a{b")
+	n, err := Compile("a{b}c")
+	if err != nil {
+		t.Fatalf("literal brace rejected: %v", err)
+	}
+	res := engine.Run(n, []byte("xa{b}c"))
+	if len(res.Reports) != 1 || res.Reports[0].Offset != 5 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"a(b", "a)b", "[abc", "a**", "*a", "+", "?x", "a|*",
+		"a\\", `a\x1`, `a\xzz`, "[z-a]", "a{4,2}", "a{999}", "[]",
+		"a$", "a^b", "(a|)", "()", // nullable subexpressions that make the whole pattern nullable
+	}
+	for _, p := range bad {
+		if n, err := Compile(p); err == nil {
+			t.Errorf("Compile(%q) succeeded (%d states), want error", p, n.Len())
+		}
+	}
+	_, err := Compile("a(b")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Errorf("error %v does not wrap *SyntaxError", err)
+	} else if se.Pattern != "a(b" {
+		t.Errorf("SyntaxError.Pattern = %q", se.Pattern)
+	}
+	if !strings.Contains(err.Error(), "rule 0") {
+		t.Errorf("error %q lacks rule index", err)
+	}
+}
+
+func TestNullablePatternRejected(t *testing.T) {
+	for _, p := range []string{"a*", "a?", "(a|b)*", "a{0,3}"} {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("Compile(%q) accepted a nullable pattern", p)
+		}
+	}
+}
+
+func TestCompileSetCodesAndCCs(t *testing.T) {
+	n, err := CompileSet("set", []Rule{
+		{Pattern: "abc", Code: 100},
+		{Pattern: "xyz", Code: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ccs := n.ConnectedComponents()
+	if ccs != 2 {
+		t.Fatalf("CCs = %d, want 2", ccs)
+	}
+	res := engine.Run(n, []byte("abcxyz"))
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+	codes := map[int32]int64{}
+	for _, r := range res.Reports {
+		codes[r.Code] = r.Offset
+	}
+	if codes[100] != 2 || codes[200] != 5 {
+		t.Fatalf("codes = %v", codes)
+	}
+}
+
+func TestCompilePatternsIndexes(t *testing.T) {
+	n, err := CompilePatterns("p", []string{"aa", "bb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(n, []byte("bb"))
+	if len(res.Reports) != 1 || res.Reports[0].Code != 1 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+}
+
+func TestGlushkovIsHomogeneous(t *testing.T) {
+	// Every state of a compiled NFA must have exactly one class; states'
+	// counts must equal the number of literal positions.
+	n, err := Compile("(ab|cd)+x{2,3}[0-9]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// positions: a,b,c,d,x,x,x,[0-9] = 8
+	if n.Len() != 8 {
+		t.Fatalf("states = %d, want 8", n.Len())
+	}
+}
+
+// randomPattern generates a random pattern from a small grammar that our
+// engine and the stdlib both support.
+func randomPattern(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		atoms := []string{"a", "b", "c", "d", "[ab]", "[^c]", "."}
+		return atoms[rng.Intn(len(atoms))]
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return randomPattern(rng, depth-1) + randomPattern(rng, depth-1)
+	case 1:
+		return "(?:" + randomPattern(rng, depth-1) + "|" + randomPattern(rng, depth-1) + ")"
+	case 2:
+		return "(?:" + randomPattern(rng, depth-1) + ")+"
+	case 3:
+		return randomPattern(rng, depth-1) + "(?:" + randomPattern(rng, depth-1) + ")?"
+	case 4:
+		return "(?:" + randomPattern(rng, depth-1) + "){1,3}"
+	case 5:
+		return randomPattern(rng, depth-1) + "(?:" + randomPattern(rng, depth-1) + ")*"
+	default:
+		return randomPattern(rng, depth-1)
+	}
+}
+
+// TestRandomAgainstStdlib fuzz-compares our compiler+engine against the
+// standard library on random patterns and inputs.
+func TestRandomAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		pat := randomPattern(rng, 3)
+		if rng.Intn(4) == 0 {
+			pat = "^" + pat
+		}
+		in := make([]byte, 1+rng.Intn(24))
+		for i := range in {
+			in[i] = "abcd"[rng.Intn(4)]
+		}
+		n, err := Compile(pat)
+		if err != nil {
+			continue // nullable random pattern; skip
+		}
+		res := engine.Run(n, in)
+		got := map[int64]bool{}
+		for _, r := range res.Reports {
+			got[r.Offset] = true
+		}
+		want := goldenEnds(t, pat, in)
+		if !sameEnds(got, want) {
+			t.Fatalf("trial %d: pattern %q input %q\n got %v\nwant %v", trial, pat, in, got, want)
+		}
+	}
+}
+
+// TestPrefixMergedEquivalence: compression must not change match ends.
+func TestPrefixMergedEquivalence(t *testing.T) {
+	pats := []string{"GET /index", "GET /images", "POST /login", "HTTP/1[01]"}
+	n, err := CompilePatterns("http", pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nfa.MergeCommonPrefixes(n)
+	if m.Len() >= n.Len() {
+		t.Fatalf("no compression: %d -> %d", n.Len(), m.Len())
+	}
+	input := []byte("GET /index HTTP/10 POST /login GET /images")
+	a := engine.Run(n, input)
+	bm := engine.Run(m, input)
+	ka := map[string]bool{}
+	for _, r := range a.Reports {
+		ka[fmt.Sprintf("%d/%d", r.Offset, r.Code)] = true
+	}
+	kb := map[string]bool{}
+	for _, r := range bm.Reports {
+		kb[fmt.Sprintf("%d/%d", r.Offset, r.Code)] = true
+	}
+	if len(ka) != len(kb) {
+		t.Fatalf("events differ: %v vs %v", ka, kb)
+	}
+	for k := range ka {
+		if !kb[k] {
+			t.Fatalf("merged automaton missing %s", k)
+		}
+	}
+}

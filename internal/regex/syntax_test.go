@@ -1,0 +1,113 @@
+package regex
+
+import (
+	"testing"
+)
+
+// TestSyntaxMatrix is a table-driven sweep over the supported grammar:
+// each row gives a pattern, inputs that must match (as a substring ending
+// anywhere), and inputs that must not.
+func TestSyntaxMatrix(t *testing.T) {
+	cases := []struct {
+		pattern string
+		match   []string
+		reject  []string
+	}{
+		// Literals and escapes.
+		{`abc`, []string{"abc", "zabc"}, []string{"ab", "axc"}},
+		{`a\+b`, []string{"a+b"}, []string{"aab", "ab"}},
+		{`\x00\x01`, []string{"\x00\x01"}, []string{"\x00\x02"}},
+		{`\a\e`, []string{"\x07\x1b"}, []string{"ae"}},
+		{`\0x`, []string{"\x00x"}, []string{"0x"}},
+
+		// Classes.
+		{`[abc]`, []string{"a", "b", "c"}, []string{"d"}},
+		{`[^abc]`, []string{"d", "z", "1"}, []string{"a", "c"}},
+		{`[a-cx-z]`, []string{"b", "y"}, []string{"d", "w"}},
+		{`[\x41-\x43]`, []string{"A", "B", "C"}, []string{"D"}},
+		{`[-a]`, []string{"-", "a"}, []string{"b"}},
+		{`[a-]`, []string{"-", "a"}, []string{"b"}},
+		{`\d\d`, []string{"42"}, []string{"4a"}},
+		{`\D`, []string{"x"}, []string{"7"}},
+		{`\w\W`, []string{"a "}, []string{"ab"}},
+		{`\s\S`, []string{" x"}, []string{"  "}},
+
+		// Quantifiers.
+		{`ab*c`, []string{"ac", "abc", "abbbc"}, []string{"adc"}},
+		{`ab+c`, []string{"abc", "abbc"}, []string{"ac"}},
+		{`ab?c`, []string{"ac", "abc"}, []string{"abbc"}},
+		{`a{3}`, []string{"aaa", "aaaa"}, []string{"aa"}},
+		{`a{2,3}b`, []string{"aab", "aaab"}, []string{"ab"}},
+		{`a{2,}b`, []string{"aab", "aaaaab"}, []string{"ab"}},
+		{`ba{0,2}c`, []string{"bc", "bac", "baac"}, []string{"baaac"}},
+		{`(ab){2}`, []string{"abab"}, []string{"ab"}},
+
+		// Alternation and grouping.
+		{`cat|dog`, []string{"cat", "dog", "hotdog"}, []string{"cow"}},
+		{`a(b|c)d`, []string{"abd", "acd"}, []string{"aed", "ad"}},
+		{`(a|b)(c|d)`, []string{"ac", "bd", "bc"}, []string{"ab", "cd"}},
+		{`(?:xy)+z`, []string{"xyz", "xyxyz"}, []string{"xz"}},
+		{`a(|b)c`, []string{"ac", "abc"}, []string{"axc"}},
+
+		// Dot and dotstar.
+		{`a.c`, []string{"abc", "a\nc", "a.c"}, []string{"ac", "abbc"}},
+		{`a.*z`, []string{"az", "a123z", "a\n\nz"}, []string{"a", "z"}},
+		{`a.+z`, []string{"abz", "a12z"}, []string{"az"}},
+
+		// Anchors.
+		{`^go`, []string{"go", "gopher"}, []string{"ago"}},
+		{`^[ab]+$x`, nil, nil}, // invalid ('$'), checked below
+
+		// Literal braces.
+		{`a{b`, []string{"a{b"}, []string{"ab"}},
+		{`x{}y`, []string{"x{}y"}, []string{"xy"}},
+	}
+	for _, c := range cases {
+		if c.match == nil && c.reject == nil {
+			if _, err := Compile(c.pattern); err == nil {
+				t.Errorf("pattern %q compiled, want error", c.pattern)
+			}
+			continue
+		}
+		n, err := Compile(c.pattern)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.pattern, err)
+			continue
+		}
+		for _, in := range c.match {
+			if len(matchEnds(t, c.pattern, []byte(in))) == 0 {
+				t.Errorf("pattern %q did not match %q (states=%d)", c.pattern, in, n.Len())
+			}
+		}
+		for _, in := range c.reject {
+			if ends := matchEnds(t, c.pattern, []byte(in)); len(ends) != 0 {
+				t.Errorf("pattern %q matched %q at %v", c.pattern, in, ends)
+			}
+		}
+	}
+}
+
+// TestStateCounts pins the Glushkov size of representative patterns: one
+// state per literal position, independent of operators.
+func TestStateCounts(t *testing.T) {
+	cases := map[string]int{
+		"abc":        3,
+		"a|b|c":      3,
+		"(abc)+":     3,
+		"a.*b":       3,
+		"x{4}":       4,
+		"x{2,4}":     4,
+		"[abc][def]": 2,
+		"(ab|cd)ef":  6,
+	}
+	for pat, want := range cases {
+		n, err := Compile(pat)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", pat, err)
+			continue
+		}
+		if n.Len() != want {
+			t.Errorf("states(%q) = %d, want %d", pat, n.Len(), want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package tracegen synthesizes input traces for automata benchmarks. The
+// main generator reimplements the scheme of Becchi et al.'s workload tools
+// (cited by the paper, §4.1): with probability pm — the probability that a
+// state matches on an input character and activates subsequent states, as
+// in a depth-wise traversal — the next symbol is chosen to match a
+// currently active state; otherwise it is drawn from the base alphabet.
+// pm = 0.75 is representative of real-world traffic.
+package tracegen
+
+import (
+	"math/rand"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// Config parameterises trace synthesis.
+type Config struct {
+	// PM is the match probability (paper default 0.75).
+	PM float64
+	// Alphabet supplies miss symbols (and match symbols when nothing is
+	// active). Defaults to all 256 byte values when empty.
+	Alphabet []byte
+	// Seed makes traces reproducible.
+	Seed int64
+}
+
+// Becchi generates a trace of the given size for automaton n.
+func Becchi(n *nfa.NFA, size int, cfg Config) []byte {
+	if cfg.PM < 0 || cfg.PM > 1 {
+		panic("tracegen: PM out of [0,1]")
+	}
+	alpha := cfg.Alphabet
+	if len(alpha) == 0 {
+		alpha = make([]byte, 256)
+		for i := range alpha {
+			alpha[i] = byte(i)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := engine.NewSparse(n)
+	allIn := n.AllInputStates()
+	out := make([]byte, size)
+	for i := range out {
+		var sym byte
+		if rng.Float64() < cfg.PM {
+			// Deep traversal: extend a currently active path.
+			if q, ok := pickActive(rng, e.Frontier(), allIn); ok {
+				cls := n.Label(q)
+				sym = cls.Pick(rng.Intn(cls.Count()))
+			} else {
+				sym = alpha[rng.Intn(len(alpha))]
+			}
+		} else {
+			sym = alpha[rng.Intn(len(alpha))]
+		}
+		out[i] = sym
+		e.Step(sym, int64(i), nil)
+	}
+	return out
+}
+
+// pickActive selects a random enabled state, preferring the deep frontier
+// over the always-enabled baseline (which would bias toward restarting
+// matches rather than extending them).
+func pickActive(rng *rand.Rand, frontier, allInput []nfa.StateID) (nfa.StateID, bool) {
+	if len(frontier) > 0 {
+		return frontier[rng.Intn(len(frontier))], true
+	}
+	if len(allInput) > 0 {
+		return allInput[rng.Intn(len(allInput))], true
+	}
+	return 0, false
+}
+
+// Uniform generates a trace of symbols drawn uniformly from alphabet.
+func Uniform(size int, alphabet []byte, seed int64) []byte {
+	if len(alphabet) == 0 {
+		panic("tracegen: empty alphabet")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return out
+}
+
+// WithDelimiters copies trace, overwriting symbols with delim at
+// approximately every 1/freq positions (jittered), so that range-guided
+// partitioning always finds cut points. It never writes two consecutive
+// delimiters.
+func WithDelimiters(trace []byte, delim byte, freq float64, seed int64) []byte {
+	if freq <= 0 {
+		out := make([]byte, len(trace))
+		copy(out, trace)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, len(trace))
+	copy(out, trace)
+	step := int(1 / freq)
+	if step < 2 {
+		step = 2
+	}
+	for i := step / 2; i < len(out); i += step/2 + rng.Intn(step) {
+		if i > 0 && out[i-1] == delim {
+			continue
+		}
+		out[i] = delim
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package tracegen
+
+import (
+	"testing"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+	"pap/internal/regex"
+)
+
+func buildTestNFA(t *testing.T) *nfa.NFA {
+	t.Helper()
+	n, err := regex.CompilePatterns("t", []string{"abcd", "bcda", "cdab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBecchiDeterministic(t *testing.T) {
+	n := buildTestNFA(t)
+	cfg := Config{PM: 0.75, Alphabet: []byte("abcdxyz"), Seed: 3}
+	a := Becchi(n, 4096, cfg)
+	b := Becchi(n, 4096, cfg)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg.Seed = 4
+	c := Becchi(n, 4096, cfg)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a) != 4096 {
+		t.Fatalf("length %d", len(a))
+	}
+}
+
+func TestBecchiAlphabetRespected(t *testing.T) {
+	n := buildTestNFA(t)
+	// PM = 0: only alphabet symbols appear.
+	tr := Becchi(n, 2048, Config{PM: 0, Alphabet: []byte("xy"), Seed: 1})
+	for i, s := range tr {
+		if s != 'x' && s != 'y' {
+			t.Fatalf("symbol %q at %d outside alphabet", s, i)
+		}
+	}
+}
+
+func TestBecchiDrivesActivity(t *testing.T) {
+	n := buildTestNFA(t)
+	deep := Becchi(n, 8192, Config{PM: 0.75, Alphabet: []byte("abcdwxyz"), Seed: 5})
+	shallow := Becchi(n, 8192, Config{PM: 0.05, Alphabet: []byte("abcdwxyz"), Seed: 5})
+	rd := engine.Run(n, deep)
+	rs := engine.Run(n, shallow)
+	if rd.Transitions <= rs.Transitions {
+		t.Fatalf("pm=0.75 drove %d transitions, pm=0.05 drove %d; expected deeper activity",
+			rd.Transitions, rs.Transitions)
+	}
+}
+
+func TestBecchiDefaultAlphabet(t *testing.T) {
+	n := buildTestNFA(t)
+	tr := Becchi(n, 1024, Config{PM: 0.5, Seed: 9})
+	if len(tr) != 1024 {
+		t.Fatalf("length %d", len(tr))
+	}
+}
+
+func TestBecchiPMValidation(t *testing.T) {
+	n := buildTestNFA(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PM out of range did not panic")
+		}
+	}()
+	Becchi(n, 10, Config{PM: 1.5})
+}
+
+func TestUniform(t *testing.T) {
+	tr := Uniform(4096, []byte("AC"), 2)
+	counts := map[byte]int{}
+	for _, s := range tr {
+		counts[s]++
+	}
+	if counts['A'] == 0 || counts['C'] == 0 || counts['A']+counts['C'] != 4096 {
+		t.Fatalf("counts = %v", counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty alphabet did not panic")
+		}
+	}()
+	Uniform(10, nil, 1)
+}
+
+func TestWithDelimiters(t *testing.T) {
+	base := Uniform(8192, []byte("ab"), 3)
+	out := WithDelimiters(base, '\n', 1.0/64, 4)
+	if len(out) != len(base) {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	count := 0
+	for i, s := range out {
+		if s == '\n' {
+			count++
+			if i > 0 && out[i-1] == '\n' {
+				t.Fatalf("consecutive delimiters at %d", i)
+			}
+		}
+	}
+	if count < 8192/256 || count > 8192/16 {
+		t.Fatalf("delimiter count %d out of expected band", count)
+	}
+	// Original trace untouched.
+	for _, s := range base {
+		if s == '\n' {
+			t.Fatal("WithDelimiters mutated its input")
+		}
+	}
+	// freq <= 0: plain copy.
+	same := WithDelimiters(base, '\n', 0, 4)
+	if string(same) != string(base) {
+		t.Fatal("freq=0 changed trace")
+	}
+}

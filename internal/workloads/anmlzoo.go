@@ -1,0 +1,639 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pap/internal/nfa"
+	"pap/internal/tracegen"
+)
+
+// The ANMLZoo suite (Wadden et al., §4.1): diverse automata applications
+// not necessarily derived from regular expressions.
+
+var fullByteAlpha = func() []byte {
+	a := make([]byte, 256)
+	for i := range a {
+		a[i] = byte(i)
+	}
+	return a
+}()
+
+func snort() *Spec {
+	return &Spec{
+		Name:           "Snort",
+		Suite:          "ANMLZoo",
+		Description:    "network intrusion detection ruleset (Snort 2.9.7.0 style)",
+		PaperStates:    34480,
+		PaperRange:     792,
+		PaperCCs:       90,
+		PaperHalfCores: 3,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(2000, scale, 12)
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				l := 12 + rng.Intn(12)
+				if rng.Float64() < 0.2 {
+					// pcre-style rule: content plus class/repetition tail.
+					var sb strings.Builder
+					sb.WriteString(randLiteral(rng, patternAlpha, l/2))
+					for j := 0; j < 3; j++ {
+						switch rng.Intn(4) {
+						case 0:
+							sb.WriteString(randClass(rng, patternAlpha, 3+rng.Intn(8)) + "+")
+						case 1:
+							sb.WriteString(".*" + randLiteral(rng, patternAlpha, 3))
+						case 2:
+							sb.WriteString(fmt.Sprintf("%s{%d,%d}",
+								randClass(rng, patternAlpha, 2+rng.Intn(4)), 1+rng.Intn(2), 3+rng.Intn(3)))
+						default:
+							sb.WriteString(randLiteral(rng, patternAlpha, 2+rng.Intn(3)))
+						}
+					}
+					pats = append(pats, sb.String())
+				} else {
+					pats = append(pats, randLiteral(rng, patternAlpha, l))
+				}
+			}
+			return compileRules("Snort", pats)
+		},
+		trace: networkTrace,
+	}
+}
+
+func clamAV() *Spec {
+	return &Spec{
+		Name:               "ClamAV",
+		Suite:              "ANMLZoo",
+		Description:        "virus signature database: long byte literals with wildcard gaps",
+		PaperStates:        49538,
+		PaperRange:         5452,
+		PaperCCs:           515,
+		PaperHalfCores:     3,
+		DisableCompression: true, // §4.1
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(515, scale, 6)
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				segments := 2 + rng.Intn(3)
+				var sb strings.Builder
+				for j := 0; j < segments; j++ {
+					if j > 0 {
+						if rng.Intn(3) == 0 {
+							sb.WriteString(".*")
+						} else {
+							fmt.Fprintf(&sb, ".{%d}", 2+rng.Intn(14)) // fixed-distance gap
+						}
+					}
+					segLen := 18 + rng.Intn(16)
+					for b := 0; b < segLen; b++ {
+						fmt.Fprintf(&sb, "\\x%02x", rng.Intn(256))
+					}
+				}
+				pats = append(pats, sb.String())
+			}
+			return compileRules("ClamAV", pats)
+		},
+		trace: func(n *nfa.NFA, size int, seed int64) []byte {
+			return tracegen.Becchi(n, size, tracegen.Config{PM: 0.75, Alphabet: fullByteAlpha, Seed: seed})
+		},
+	}
+}
+
+func dotstarZoo() *Spec {
+	return &Spec{
+		Name:           "Dotstar",
+		Suite:          "ANMLZoo",
+		Description:    "combined 5%/10%/20% unbounded .* rulesets",
+		PaperStates:    38951,
+		PaperRange:     600,
+		PaperCCs:       90,
+		PaperHalfCores: 2,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			third := scaleCount(2300, scale, 12) / 3
+			var pats []string
+			for _, p := range []float64{0.05, 0.10, 0.20} {
+				pats = append(pats, dotstarPatterns(rng, third, 15, p)...)
+			}
+			return compileRules("Dotstar", pats)
+		},
+		trace: networkTrace,
+	}
+}
+
+// hamming builds Hamming-distance automata directly as a mismatch lattice:
+// state (i,e) means i pattern symbols consumed with e mismatches. Each
+// lattice node appears twice in homogeneous form — once labelled with the
+// pattern symbol (match) and once with its complement (mismatch).
+func hamming() *Spec {
+	return &Spec{
+		Name:               "Hamming",
+		Suite:              "ANMLZoo",
+		Description:        "Hamming-distance (28,3) automata over DNA sequences",
+		PaperStates:        11254,
+		PaperRange:         8151,
+		PaperCCs:           49,
+		PaperHalfCores:     2,
+		DisableCompression: true, // generator emits the merged lattice directly
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(49, scale, 3)
+			b := nfa.NewBuilder("Hamming")
+			for p := 0; p < k; p++ {
+				BuildHammingLattice(b, randDNA(rng, 28), 3, int32(p))
+			}
+			return b.Build()
+		},
+		trace: alphaTrace(dna),
+	}
+}
+
+// BuildHammingLattice appends one (len(pattern), d) Hamming automaton.
+func BuildHammingLattice(b *nfa.Builder, pattern []byte, d int, code int32) {
+	L := len(pattern)
+	type node struct{ match, miss nfa.StateID }
+	grid := make([][]node, L+1) // grid[i][e], i in 1..L
+	for i := range grid {
+		grid[i] = make([]node, d+1)
+		for e := range grid[i] {
+			grid[i][e] = node{match: -1, miss: -1}
+		}
+	}
+	for i := 1; i <= L; i++ {
+		sym := pattern[i-1]
+		matchCls := nfa.ClassOf(sym)
+		missCls := matchCls.Negate()
+		for e := 0; e <= d && e <= i; e++ {
+			var flags nfa.Flags
+			if i == 1 {
+				flags = nfa.AllInput
+			}
+			// Match state consumes pattern[i-1] without a new error.
+			if e <= i-1 { // e errors must have happened in the first i-1 symbols
+				id := b.AddState(matchCls, flags)
+				if i == L {
+					b.SetFlags(id, nfa.Report)
+					b.SetReportCode(id, code)
+				}
+				grid[i][e].match = id
+			}
+			// Mismatch state consumes anything else, adding one error.
+			if e >= 1 {
+				id := b.AddState(missCls, flags)
+				if i == L {
+					b.SetFlags(id, nfa.Report)
+					b.SetReportCode(id, code)
+				}
+				grid[i][e].miss = id
+			}
+		}
+	}
+	connect := func(from nfa.StateID, i, e int) {
+		if i > L || from < 0 {
+			return
+		}
+		if e <= d {
+			if to := grid[i][e].match; to >= 0 {
+				b.AddEdge(from, to)
+			}
+		}
+		if e+1 <= d {
+			if to := grid[i][e+1].miss; to >= 0 {
+				b.AddEdge(from, to)
+			}
+		}
+	}
+	for i := 1; i < L; i++ {
+		for e := 0; e <= d; e++ {
+			connect(grid[i][e].match, i+1, e)
+			connect(grid[i][e].miss, i+1, e)
+		}
+	}
+}
+
+// levenshtein builds Levenshtein automata via the classical lattice with
+// ε-deletions, homogenized for the AP (the construction of Roy & Aluru's
+// motif-search work, which the paper draws its (24,3) configuration from).
+func levenshtein() *Spec {
+	return &Spec{
+		Name:               "Levenshtein",
+		Suite:              "ANMLZoo",
+		Description:        "Levenshtein-distance (24,3) automata over DNA sequences",
+		PaperStates:        2660,
+		PaperRange:         2090,
+		PaperCCs:           4,
+		PaperHalfCores:     3,
+		DisableCompression: true, // lattice is already minimal for our purposes
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(4, scale, 2)
+			b := nfa.NewBuilder("Levenshtein")
+			for p := 0; p < k; p++ {
+				if err := BuildLevenshtein(b, randDNA(rng, 24), 3, int32(p)); err != nil {
+					return nil, err
+				}
+			}
+			return b.Build()
+		},
+		trace: alphaTrace(dna),
+	}
+}
+
+// BuildLevenshtein appends one (len(pattern), d) Levenshtein automaton.
+func BuildLevenshtein(b *nfa.Builder, pattern []byte, d int, code int32) error {
+	L := len(pattern)
+	c := nfa.NewClassical(fmt.Sprintf("lev-%d", code))
+	grid := make([][]int, L+1)
+	for i := range grid {
+		grid[i] = make([]int, d+1)
+		for e := range grid[i] {
+			grid[i][e] = c.AddState()
+		}
+	}
+	c.SetStart(grid[0][0])
+	for e := 0; e <= d; e++ {
+		c.SetAccept(grid[L][e], code)
+	}
+	anyCls := nfa.AnyClass()
+	for i := 0; i <= L; i++ {
+		for e := 0; e <= d; e++ {
+			if i < L {
+				// Match.
+				c.AddEdge(grid[i][e], grid[i+1][e], nfa.ClassOf(pattern[i]))
+				if e < d {
+					// Substitution and deletion.
+					c.AddEdge(grid[i][e], grid[i+1][e+1], anyCls)
+					c.AddEps(grid[i][e], grid[i+1][e+1])
+				}
+			}
+			if e < d {
+				// Insertion.
+				c.AddEdge(grid[i][e], grid[i][e+1], anyCls)
+			}
+		}
+	}
+	return c.Homogenize(b, false)
+}
+
+func randDNA(rng *rand.Rand, k int) []byte {
+	out := make([]byte, k)
+	for i := range out {
+		out[i] = dna[rng.Intn(len(dna))]
+	}
+	return out
+}
+
+// entityResolution builds one dense automaton per entity: fuzzy chains for
+// many name variants (orderings, initials, optional middle tokens) that all
+// feed a shared last-name suffix chain, so each entity is a single, densely
+// connected component. Every position matches a tolerance class (adjacent
+// letters — OCR/typo fuzziness), which makes symbol ranges a large fraction
+// of the state space; as in the paper, flow optimizations then struggle and
+// EntityResolution's speedup is limited (§5.1).
+func entityResolution() *Spec {
+	return &Spec{
+		Name:               "EntityResolution",
+		Suite:              "ANMLZoo",
+		Description:        "fuzzy name matching with initials, truncations and optional tokens",
+		PaperStates:        5689,
+		PaperRange:         1515,
+		PaperCCs:           5,
+		PaperHalfCores:     3,
+		DisableCompression: true, // density is the benchmark's defining trait
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(5, scale, 4)
+			b := nfa.NewBuilder("EntityResolution")
+			for e := 0; e < k; e++ {
+				buildEntity(b, rng, int32(e))
+			}
+			return b.Build()
+		},
+		trace: func(n *nfa.NFA, size int, seed int64) []byte {
+			// ER inputs are name lists: their letter distribution matches
+			// the entities being resolved, so draw only from the letters
+			// the automaton covers (plus separators).
+			alpha := coveredAlphabet(n)
+			return tracegen.Becchi(n, size, tracegen.Config{PM: 0.75, Alphabet: alpha, Seed: seed})
+		},
+	}
+}
+
+// coveredAlphabet returns the symbols that at least one state label
+// matches — the symbol distribution of domain-realistic inputs.
+func coveredAlphabet(n *nfa.NFA) []byte {
+	var out []byte
+	for s := 0; s < 256; s++ {
+		for q := 0; q < n.Len(); q++ {
+			if n.Label(nfa.StateID(q)).Test(byte(s)) {
+				out = append(out, byte(s))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// fuzzyNameClass returns the tolerance class of one name character: the
+// letter and its alphabet neighbours, or the separator class.
+func fuzzyNameClass(c byte) nfa.Class {
+	if c == ' ' || c == '.' || c == ',' {
+		return nfa.ClassOf(' ', '.', ',')
+	}
+	lo, hi := c-3, c+3
+	if lo < 'a' {
+		lo = 'a'
+	}
+	if hi > 'z' {
+		hi = 'z'
+	}
+	return nfa.ClassRange(lo, hi)
+}
+
+// buildEntity appends one entity's resolver: variant prefix chains joined
+// into a shared last-name suffix chain (one connected component).
+func buildEntity(b *nfa.Builder, rng *rand.Rand, code int32) {
+	letters := []byte("abcdefghijklmnopqrstuvwxyz")
+	word := func(k int) []byte {
+		w := make([]byte, k)
+		for i := range w {
+			w[i] = letters[rng.Intn(len(letters))]
+		}
+		return w
+	}
+	first := word(6 + rng.Intn(4))
+	middle := word(6 + rng.Intn(4))
+	last := word(7 + rng.Intn(4))
+
+	// Shared suffix: " last", reporting at its end.
+	suffix := append([]byte{' '}, last...)
+	var suffixHead, prev nfa.StateID = -1, -1
+	for i, c := range suffix {
+		id := b.AddState(fuzzyNameClass(c), 0)
+		if i == 0 {
+			suffixHead = id
+		}
+		if i == len(suffix)-1 {
+			b.SetFlags(id, nfa.Report)
+			b.SetReportCode(id, code)
+		}
+		if prev >= 0 {
+			b.AddEdge(prev, id)
+		}
+		prev = id
+	}
+
+	// Variant prefixes: initials, truncations, optional middles, multiple
+	// separator forms — all feeding the shared suffix head. Kept
+	// uncompressed: the many near-duplicate chains are what makes the
+	// benchmark's components dense.
+	fi, mi := first[:1], middle[:1]
+	firstForms := [][]byte{first, fi, first[:3], first[:len(first)-1]}
+	middleForms := [][]byte{middle, mi, middle[:3], nil}
+	var variants [][]byte
+	sepForms := [][]byte{{' '}, {'.', ' '}, {','}}
+	for _, f := range firstForms {
+		for _, m := range middleForms {
+			for _, sep := range sepForms {
+				v := append(append([]byte{}, f...), sep...)
+				if m != nil {
+					v = append(append(v, m...), sep...)
+				}
+				// Trim the trailing separator: the suffix supplies it.
+				variants = append(variants, v[:len(v)-len(sep)])
+			}
+		}
+	}
+	// One unbounded gap per entity between any matched prefix and the last
+	// name: the tokens may be separated by arbitrary text (titles,
+	// suffixes, other columns of the record). The gap state matches
+	// everything and self-loops, so enumeration flows that capture it stay
+	// alive for the rest of the segment -- the density that limits
+	// EntityResolution's speedup in the paper (S5.1). Sharing one gap per
+	// entity keeps the persistent enumeration-unit count per component
+	// small, as the paper's ER automata exhibit.
+	gap := b.AddState(nfa.AnyClass(), 0)
+	b.AddEdge(gap, gap)
+	b.AddEdge(gap, suffixHead)
+	for _, v := range variants {
+		var prev nfa.StateID = -1
+		for i, c := range v {
+			var flags nfa.Flags
+			if i == 0 {
+				flags = nfa.AllInput
+			}
+			id := b.AddState(fuzzyNameClass(c), flags)
+			if prev >= 0 {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		b.AddEdge(prev, gap)
+	}
+}
+
+func protomata() *Spec {
+	return &Spec{
+		Name:           "Protomata",
+		Suite:          "ANMLZoo",
+		Description:    "2340 PROSITE protein motifs over the 20-letter amino alphabet",
+		PaperStates:    38251,
+		PaperRange:     667,
+		PaperCCs:       513,
+		PaperHalfCores: 2,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(2340, scale, 12)
+			aminoClass := "[" + string(aminos) + "]"
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				elems := 8 + rng.Intn(12)
+				var sb strings.Builder
+				for j := 0; j < elems; j++ {
+					r := rng.Float64()
+					switch {
+					case r < 0.60: // exact residue
+						sb.WriteByte(aminos[rng.Intn(len(aminos))])
+					case r < 0.85: // residue class
+						sb.WriteString(randClass(rng, aminos, 2+rng.Intn(3)))
+					case r < 0.92: // x: any residue
+						sb.WriteString(aminoClass)
+					default: // x(n) gap
+						fmt.Fprintf(&sb, "%s{%d}", aminoClass, 1+rng.Intn(4))
+					}
+				}
+				pats = append(pats, sb.String())
+			}
+			return compileRules("Protomata", pats)
+		},
+		trace: alphaTrace(aminos),
+	}
+}
+
+func fermi() *Spec {
+	return &Spec{
+		Name:               "Fermi",
+		Suite:              "ANMLZoo",
+		Description:        "high-energy particle track matching: wide-tolerance hit windows",
+		PaperStates:        40783,
+		PaperRange:         30027,
+		PaperCCs:           2399,
+		PaperHalfCores:     2,
+		DisableCompression: true, // §4.1
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(2399, scale, 12)
+			b := nfa.NewBuilder("Fermi")
+			for p := 0; p < k; p++ {
+				buildTrack(b, rng, int32(p))
+			}
+			return b.Build()
+		},
+		trace: func(n *nfa.NFA, size int, seed int64) []byte {
+			return tracegen.Becchi(n, size, tracegen.Config{PM: 0.75, Alphabet: fullByteAlpha, Seed: seed})
+		},
+	}
+}
+
+// buildTrack appends one Fermi track automaton: an entry hit group
+// followed by two alternative continuation branches (the particle may be
+// picked up by either downstream detector arm), each an unbounded gap --
+// other events' hits interleave with the track's -- followed by its own
+// hit group and reporting hit. The any-labelled self-looping gap states
+// put most of the automaton in every symbol's range (Figure 3: min ~= avg
+// ~= max for Fermi) and give each enumeration flow a distinct persistent
+// absorbing set, so flows neither die nor converge -- which is what limits
+// Fermi's speedup in the paper (S5.1).
+func buildTrack(b *nfa.Builder, rng *rand.Rand, code int32) {
+	window := func(width int) nfa.Class {
+		c := rng.Intn(256)
+		lo, hi := c-width/2, c+width/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 255 {
+			hi = 255
+		}
+		return nfa.ClassRange(byte(lo), byte(hi))
+	}
+	wide := func() int { return 96 + rng.Intn(128) }
+	chain := func(from nfa.StateID, positions, width int, entry bool) nfa.StateID {
+		prev := from
+		for j := 0; j < positions; j++ {
+			var flags nfa.Flags
+			if entry && j == 0 && prev < 0 {
+				flags = nfa.AllInput
+			}
+			id := b.AddState(window(width), flags)
+			if prev >= 0 {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		return prev
+	}
+	// Entry hits are selective (a genuine track seed), so background
+	// traffic essentially never walks into the gaps: the enumerated gap
+	// flows stay distinct from the baseline and are never absorbed -- the
+	// non-reducible flow population that limits Fermi in the paper.
+	entryEnd := chain(-1, 4+rng.Intn(3), 24+rng.Intn(24), true)
+	for branch := 0; branch < 2; branch++ {
+		gap := b.AddState(nfa.AnyClass(), 0)
+		b.AddEdge(entryEnd, gap)
+		b.AddEdge(gap, gap)
+		mid := chain(gap, 3+rng.Intn(3), wide(), false)
+		// The final two hits are precise (narrow windows): a track trigger
+		// fires on an exact hit signature, so reports stay rare even while
+		// the gap states keep most of the automaton active.
+		tight := b.AddState(window(8+rng.Intn(8)), 0)
+		b.AddEdge(mid, tight)
+		last := b.AddState(window(8+rng.Intn(8)), 0)
+		b.AddEdge(tight, last)
+		b.SetFlags(last, nfa.Report)
+		b.SetReportCode(last, code)
+	}
+}
+
+func randomForest() *Spec {
+	return &Spec{
+		Name:               "RandomForest",
+		Suite:              "ANMLZoo",
+		Description:        "decision-tree chains of feature-threshold comparisons",
+		PaperStates:        33220,
+		PaperRange:         1616,
+		PaperCCs:           1661,
+		PaperHalfCores:     2,
+		DisableCompression: true, // §4.1
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(1661, scale, 12)
+			b := nfa.NewBuilder("RandomForest")
+			for p := 0; p < k; p++ {
+				depth := 20
+				var prev nfa.StateID = -1
+				for j := 0; j < depth; j++ {
+					t := byte(40 + rng.Intn(176))
+					var cls nfa.Class
+					if rng.Intn(2) == 0 {
+						cls = nfa.ClassRange(0, t) // feature <= threshold
+					} else {
+						cls = nfa.ClassRange(t, 255) // feature > threshold
+					}
+					var flags nfa.Flags
+					if j == 0 {
+						flags = nfa.AllInput
+					}
+					id := b.AddState(cls, flags)
+					if j == depth-1 {
+						b.SetFlags(id, nfa.Report)
+						b.SetReportCode(id, int32(p%10)) // digit class label
+					}
+					if prev >= 0 {
+						b.AddEdge(prev, id)
+					}
+					prev = id
+				}
+			}
+			return b.Build()
+		},
+		trace: func(n *nfa.NFA, size int, seed int64) []byte {
+			return tracegen.Uniform(size, fullByteAlpha, seed)
+		},
+	}
+}
+
+func spm() *Spec {
+	return &Spec{
+		Name:               "SPM",
+		Suite:              "ANMLZoo",
+		Description:        "sequential pattern mining: itemset sequences with unbounded gaps",
+		PaperStates:        100500,
+		PaperRange:         20100,
+		PaperCCs:           5025,
+		PaperHalfCores:     2,
+		DisableCompression: true, // keeps one component per candidate sequence, as in Table 1
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(5025, scale, 12)
+			items := []byte("@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~")
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				sets := 4
+				var parts []string
+				for j := 0; j < sets; j++ {
+					parts = append(parts, randLiteral(rng, items, 3+rng.Intn(2)))
+				}
+				pats = append(pats, strings.Join(parts, ".*"))
+			}
+			return compileRules("SPM", pats)
+		},
+		trace: func(n *nfa.NFA, size int, seed int64) []byte {
+			items := []byte("@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~")
+			return tracegen.Becchi(n, size, tracegen.Config{PM: 0.75, Alphabet: items, Seed: seed})
+		},
+	}
+}

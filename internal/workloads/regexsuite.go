@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pap/internal/nfa"
+	"pap/internal/regex"
+)
+
+// The Regex suite (Becchi et al., §4.1): real-world and synthetic rulesets
+// for network intrusion detection. Each generator reproduces the structural
+// profile of its Table 1 row. The letters-only sub-alphabet keeps pattern
+// symbols disjoint from the '\n' delimiter injected into traces, matching
+// the suite's tiny cut-symbol ranges.
+
+var patternAlpha = []byte("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/:._ ")
+
+func compileRules(name string, patterns []string) (*nfa.NFA, error) {
+	n, err := regex.CompilePatterns(name, patterns)
+	if err != nil {
+		return nil, fmt.Errorf("workloads %s: %w", name, err)
+	}
+	return n, nil
+}
+
+// dotstarPatterns generates k patterns of average length avgLen where a
+// fraction pDotstar contain one or two unbounded ".*" infixes.
+func dotstarPatterns(rng *rand.Rand, k, avgLen int, pDotstar float64) []string {
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		l := avgLen - 3 + rng.Intn(7)
+		if rng.Float64() < pDotstar {
+			stars := 1 + rng.Intn(2)
+			parts := make([]string, stars+1)
+			for j := range parts {
+				seg := l / (stars + 1)
+				if seg < 2 {
+					seg = 2
+				}
+				parts[j] = randLiteral(rng, patternAlpha, seg)
+			}
+			out = append(out, strings.Join(parts, ".*"))
+		} else {
+			out = append(out, randLiteral(rng, patternAlpha, l))
+		}
+	}
+	return out
+}
+
+func dotstarSpec(name string, p float64, paperStates, paperRange, paperCCs int) *Spec {
+	return &Spec{
+		Name:  name,
+		Suite: "Regex",
+		Description: fmt.Sprintf("synthetic ruleset with %.0f%% unbounded .* repetitions",
+			p*100),
+		PaperStates:    paperStates,
+		PaperRange:     paperRange,
+		PaperCCs:       paperCCs,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return compileRules(name, dotstarPatterns(rng, scaleCount(700, scale, 8), 15, p))
+		},
+		trace: networkTrace,
+	}
+}
+
+func dotstar03() *Spec { return dotstarSpec("Dotstar03", 0.3, 11124, 163, 56) }
+func dotstar06() *Spec { return dotstarSpec("Dotstar06", 0.6, 11598, 315, 54) }
+func dotstar09() *Spec { return dotstarSpec("Dotstar09", 0.9, 11229, 314, 51) }
+
+// rangesPatterns: a fraction pClass of the rules contain character classes.
+func rangesPatterns(rng *rand.Rand, k, avgLen int, pClass float64) []string {
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		l := avgLen - 3 + rng.Intn(7)
+		if rng.Float64() >= pClass {
+			out = append(out, randLiteral(rng, patternAlpha, l))
+			continue
+		}
+		var sb strings.Builder
+		for j := 0; j < l; j++ {
+			if rng.Intn(4) == 0 {
+				sb.WriteString(randClass(rng, patternAlpha, 2+rng.Intn(6)))
+			} else {
+				sb.WriteString(randLiteral(rng, patternAlpha, 1))
+			}
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+func rangesSpec(name string, p float64, paperStates, paperCCs int) *Spec {
+	return &Spec{
+		Name:           name,
+		Suite:          "Regex",
+		Description:    fmt.Sprintf("ruleset where %.0f%% of rules use character classes", p*100),
+		PaperStates:    paperStates,
+		PaperRange:     1,
+		PaperCCs:       paperCCs,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return compileRules(name, rangesPatterns(rng, scaleCount(720, scale, 8), 15, p))
+		},
+		trace: networkTrace,
+	}
+}
+
+func ranges05() *Spec { return rangesSpec("Ranges05", 0.5, 11596, 63) }
+func ranges1() *Spec  { return rangesSpec("Ranges1", 1.0, 11418, 57) }
+
+func exactMatch() *Spec {
+	return &Spec{
+		Name:           "ExactMatch",
+		Suite:          "Regex",
+		Description:    "exact string patterns (no classes, no repetition)",
+		PaperStates:    11270,
+		PaperRange:     1,
+		PaperCCs:       53,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(705, scale, 8)
+			pats := make([]string, k)
+			for i := range pats {
+				pats[i] = randLiteral(rng, patternAlpha, 13+rng.Intn(7))
+			}
+			return compileRules("ExactMatch", pats)
+		},
+		trace: networkTrace,
+	}
+}
+
+func bro217() *Spec {
+	return &Spec{
+		Name:           "Bro217",
+		Suite:          "Regex",
+		Description:    "217 packet-sniffing rules in the style of the Bro IDS",
+		PaperStates:    1893,
+		PaperRange:     6,
+		PaperCCs:       59,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(217, scale, 8)
+			methods := []string{"GET", "POST", "HEAD", "PUT"}
+			exts := []string{"ida", "exe", "dll", "cgi", "php", "asp", "jsp", "pl"}
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				switch i % 3 {
+				case 0: // HTTP request line fragments
+					pats = append(pats, fmt.Sprintf("%s /%s",
+						methods[rng.Intn(len(methods))], randLiteral(rng, patternAlpha[:36], 3+rng.Intn(4))))
+				case 1: // suspicious file extensions
+					pats = append(pats, fmt.Sprintf("%s\\.%s",
+						randLiteral(rng, patternAlpha[:36], 2+rng.Intn(3)), exts[rng.Intn(len(exts))]))
+				default: // protocol keywords
+					pats = append(pats, randLiteral(rng, patternAlpha[:36], 5+rng.Intn(5)))
+				}
+			}
+			return compileRules("Bro217", pats)
+		},
+		trace: networkTrace,
+	}
+}
+
+func tcp() *Spec {
+	return &Spec{
+		Name:           "TCP",
+		Suite:          "Regex",
+		Description:    "packet-header filtering rules preceding payload inspection",
+		PaperStates:    13834,
+		PaperRange:     550,
+		PaperCCs:       57,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(820, scale, 8)
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				var sb strings.Builder
+				l := 13 + rng.Intn(7)
+				for j := 0; j < l; j++ {
+					switch rng.Intn(12) {
+					case 0: // header byte with any-value wildcard
+						sb.WriteString(".")
+					case 1, 2: // port/flag value classes
+						sb.WriteString(randClass(rng, patternAlpha, 4+rng.Intn(12)))
+					default:
+						sb.WriteString(randLiteral(rng, patternAlpha, 1))
+					}
+				}
+				pats = append(pats, sb.String())
+			}
+			return compileRules("TCP", pats)
+		},
+		trace: networkTrace,
+	}
+}
+
+func powerEN1() *Spec {
+	return &Spec{
+		Name:           "PowerEN1",
+		Suite:          "Regex",
+		Description:    "complex mixed ruleset in the style of IBM PowerEN",
+		PaperStates:    12195,
+		PaperRange:     466,
+		PaperCCs:       62,
+		PaperHalfCores: 1,
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(740, scale, 8)
+			pats := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				var sb strings.Builder
+				l := 12 + rng.Intn(8)
+				for j := 0; j < l; j++ {
+					switch rng.Intn(14) {
+					case 0:
+						sb.WriteString(".*")
+						sb.WriteString(randLiteral(rng, patternAlpha, 2))
+						j += 2
+					case 1:
+						sb.WriteString(randClass(rng, patternAlpha, 3+rng.Intn(8)))
+					case 2:
+						sb.WriteString(fmt.Sprintf("%s{%d,%d}",
+							randClass(rng, patternAlpha, 2+rng.Intn(4)), 1+rng.Intn(2), 2+rng.Intn(3)))
+					default:
+						sb.WriteString(randLiteral(rng, patternAlpha, 1))
+					}
+				}
+				pats = append(pats, sb.String())
+			}
+			return compileRules("PowerEN1", pats)
+		},
+		trace: networkTrace,
+	}
+}

@@ -1,0 +1,340 @@
+// Package pap is a software reproduction of the Parallel Automata
+// Processor (Subramaniyan & Das, ISCA 2017): enumerative parallelization of
+// NFA pattern matching as performed by the Micron Automata Processor.
+//
+// The package compiles rulesets (a practical regex subset, or direct
+// Hamming/Levenshtein constructions) into homogeneous NFAs, matches them
+// sequentially, and — the point of the paper — matches them in parallel by
+// partitioning the input into segments executed concurrently on modelled
+// AP half-cores, enumerating possible start states as AP flows, and
+// composing exact results. Every parallel run is functionally exact (the
+// composed matches equal sequential matching) and additionally reports the
+// modelled AP timing: speedup over the sequential AP baseline, flow
+// statistics, and overheads.
+//
+// Quick start:
+//
+//	a, err := pap.Compile("rules", []string{"GET /admin", `\d{3}-\d{4}`})
+//	matches := a.Match(input)                       // sequential
+//	rep, err := a.MatchParallel(input, pap.DefaultConfig(4))
+//	fmt.Println(rep.Stats.Speedup)                  // modelled AP speedup
+//
+// The internal packages implement the full system: internal/nfa (automata
+// model and analyses), internal/regex (Glushkov compiler), internal/engine
+// (execution), internal/ap (D480 board model), internal/core (the PAP
+// parallelization), internal/workloads and internal/experiments (the
+// paper's evaluation).
+package pap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pap/internal/anml"
+	"pap/internal/ap"
+	"pap/internal/core"
+	"pap/internal/engine"
+	"pap/internal/mnrl"
+	"pap/internal/nfa"
+	"pap/internal/regex"
+	"pap/internal/workloads"
+)
+
+// Rule pairs a pattern with the code its matches report.
+type Rule struct {
+	Pattern string
+	Code    int32
+}
+
+// Match is one pattern occurrence: rule Code matched ending at byte Offset.
+type Match struct {
+	Code   int32
+	Offset int64
+}
+
+// Automaton is an immutable compiled ruleset.
+type Automaton struct {
+	n *nfa.NFA
+}
+
+// Compile builds an automaton from patterns; rule i reports code i.
+// See internal/regex for the supported syntax (a practical PCRE subset;
+// unanchored patterns match anywhere, as on the AP).
+func Compile(name string, patterns []string) (*Automaton, error) {
+	n, err := regex.CompilePatterns(name, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// CompileRules builds an automaton with explicit report codes.
+func CompileRules(name string, rules []Rule) (*Automaton, error) {
+	rs := make([]regex.Rule, len(rules))
+	for i, r := range rules {
+		rs[i] = regex.Rule{Pattern: r.Pattern, Code: r.Code}
+	}
+	n, err := regex.CompileSet(name, rs)
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// Hamming builds an automaton matching any substring within Hamming
+// distance d of any of the patterns; pattern i reports code i.
+func Hamming(name string, patterns []string, d int) (*Automaton, error) {
+	if d < 0 {
+		return nil, errors.New("pap: negative distance")
+	}
+	b := nfa.NewBuilder(name)
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("pap: empty pattern %d", i)
+		}
+		workloads.BuildHammingLattice(b, []byte(p), d, int32(i))
+	}
+	n, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// Levenshtein builds an automaton matching any substring within edit
+// distance d (insertions, deletions, substitutions) of any of the
+// patterns; pattern i reports code i.
+func Levenshtein(name string, patterns []string, d int) (*Automaton, error) {
+	if d < 0 {
+		return nil, errors.New("pap: negative distance")
+	}
+	b := nfa.NewBuilder(name)
+	for i, p := range patterns {
+		if len(p) <= d {
+			return nil, fmt.Errorf("pap: pattern %d shorter than distance %d", i, d)
+		}
+		if err := workloads.BuildLevenshtein(b, []byte(p), d, int32(i)); err != nil {
+			return nil, err
+		}
+	}
+	n, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// DecodeANML reads an automaton from ANML XML, the Micron AP SDK's format
+// (the one ANMLZoo distributes benchmarks in). Only pure STE networks are
+// supported; counter and boolean elements are rejected.
+func DecodeANML(r io.Reader) (*Automaton, error) {
+	n, err := anml.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// EncodeANML writes the automaton as ANML XML.
+func (a *Automaton) EncodeANML(w io.Writer) error { return anml.Encode(w, a.n) }
+
+// DecodeMNRL reads an automaton from MNRL JSON, the MNCaRT ecosystem's
+// interchange format. Only hState networks are supported.
+func DecodeMNRL(r io.Reader) (*Automaton, error) {
+	n, err := mnrl.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{n: n}, nil
+}
+
+// EncodeMNRL writes the automaton as MNRL JSON.
+func (a *Automaton) EncodeMNRL(w io.Writer) error { return mnrl.Encode(w, a.n) }
+
+// Compress returns an equivalent automaton with common prefixes merged
+// (Becchi-style compression, applied by the paper before execution).
+func (a *Automaton) Compress() *Automaton {
+	return &Automaton{n: nfa.MergeCommonPrefixes(a.n)}
+}
+
+// Union returns an automaton matching everything a or b matches; the two
+// rulesets stay in disjoint components. Report codes are preserved as-is:
+// offset them beforehand if the rulesets number their rules independently.
+func (a *Automaton) Union(b *Automaton) *Automaton {
+	return &Automaton{n: nfa.Union(a.n, b.n)}
+}
+
+// Stats summarises the automaton's structure.
+type Stats struct {
+	States              int
+	Transitions         int
+	ConnectedComponents int
+	ReportingStates     int
+	AlwaysActiveStates  int
+}
+
+// Stats returns structural statistics.
+func (a *Automaton) Stats() Stats {
+	s := a.n.ComputeStats()
+	return Stats{
+		States:              s.States,
+		Transitions:         s.Edges,
+		ConnectedComponents: s.CCs,
+		ReportingStates:     s.Reporting,
+		AlwaysActiveStates:  s.AllInput,
+	}
+}
+
+// RangeOf returns the size of symbol sym's range: the number of states
+// reachable on sym from anywhere in the automaton (§3.1 of the paper).
+// Small-range symbols make good input partition points.
+func (a *Automaton) RangeOf(sym byte) int { return a.n.RangeSize(sym) }
+
+// WriteDOT renders the automaton in Graphviz DOT form.
+func (a *Automaton) WriteDOT(w io.Writer) error { return a.n.WriteDOT(w) }
+
+// Match runs the automaton sequentially over input and returns all
+// matches in order. Matches at the same offset from different reporting
+// states are deduplicated per (offset, state), exactly as AP report events
+// are.
+func (a *Automaton) Match(input []byte) []Match {
+	res := engine.Run(a.n, input)
+	return toMatches(engine.DedupeReports(res.Reports))
+}
+
+func toMatches(reports []engine.Report) []Match {
+	out := make([]Match, len(reports))
+	for i, r := range reports {
+		out[i] = Match{Code: r.Code, Offset: r.Offset}
+	}
+	return out
+}
+
+// Config controls parallel matching. Zero values select defaults; start
+// from DefaultConfig.
+type Config struct {
+	// Ranks is the modelled AP board size (1..4).
+	Ranks int
+	// TDMQuantum is the number of symbols each flow processes between
+	// context switches (default 64).
+	TDMQuantum int
+	// ConvergenceEvery is the number of TDM steps between convergence
+	// checks (default 10).
+	ConvergenceEvery int
+	// SwitchCycles is the modelled flow-switch cost (default 3).
+	SwitchCycles int
+	// MaxSegments caps parallelism below the board limit (0 = board limit).
+	MaxSegments int
+	// HalfCores forces the automaton's placement footprint (0 = derive
+	// from the state count).
+	HalfCores int
+	// CutSymbol forces the input partition symbol (-1 or 0 with
+	// ForceCutSymbol unset = profile the input).
+	CutSymbol      int
+	ForceCutSymbol bool
+	// Workers bounds simulator goroutines (0 = GOMAXPROCS); it never
+	// affects modelled AP cycles.
+	Workers int
+	// Speculate replaces start-state enumeration with speculative
+	// execution (idle-boundary prediction + serial re-execution of
+	// mispredicted segments). Exactness is preserved; speedup collapses on
+	// streams with dense match activity.
+	Speculate bool
+}
+
+// DefaultConfig returns the paper's operating point for a board size.
+func DefaultConfig(ranks int) Config {
+	return Config{Ranks: ranks}
+}
+
+func (c Config) toCore() core.Config {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 1
+	}
+	cfg := core.DefaultConfig(ranks)
+	if c.TDMQuantum > 0 {
+		cfg.TDMQuantum = c.TDMQuantum
+	}
+	if c.ConvergenceEvery > 0 {
+		cfg.ConvergenceEvery = c.ConvergenceEvery
+	}
+	if c.SwitchCycles > 0 {
+		cfg.SwitchCycles = c.SwitchCycles
+	}
+	if c.MaxSegments > 0 {
+		cfg.MaxSegments = c.MaxSegments
+	}
+	if c.HalfCores > 0 {
+		cfg.HalfCoresOverride = c.HalfCores
+	}
+	if c.ForceCutSymbol {
+		cfg.CutSymbol = c.CutSymbol
+	}
+	if c.Workers > 0 {
+		cfg.Workers = c.Workers
+	}
+	cfg.Speculate = c.Speculate
+	return cfg
+}
+
+// RunStats reports the modelled AP execution of one parallel match.
+type RunStats struct {
+	// Segments is the number of input segments processed in parallel.
+	Segments int
+	// Speedup is modelled-baseline cycles / modelled-PAP cycles; Ideal is
+	// the segment count.
+	Speedup, IdealSpeedup float64
+	// BaselineNS and ParallelNS are modelled wall times at 7.5 ns/cycle.
+	BaselineNS, ParallelNS float64
+	// CutSymbol is the chosen partition symbol and CutRange its range.
+	CutSymbol byte
+	CutRange  int
+	// AvgActiveFlows is the time-averaged enumeration flow count.
+	AvgActiveFlows float64
+	// SwitchOverheadPct is flow-switching cost as % of AP busy cycles.
+	SwitchOverheadPct float64
+	// FalseReportRatio is emitted report events / true events (≥ 1).
+	FalseReportRatio float64
+	// Verified confirms the composed matches equalled sequential matching
+	// (always true; a false value would be a library bug).
+	Verified bool
+}
+
+// Report is the outcome of MatchParallel.
+type Report struct {
+	Matches []Match
+	Stats   RunStats
+}
+
+// MatchParallel matches input using the PAP parallelization and returns
+// the exact match set together with modelled AP statistics.
+func (a *Automaton) MatchParallel(input []byte, cfg Config) (*Report, error) {
+	res, err := core.Run(a.n, input, cfg.toCore())
+	if err != nil {
+		return nil, err
+	}
+	if err := res.CheckCorrect(); err != nil {
+		return nil, err
+	}
+	return &Report{
+		Matches: toMatches(res.Reports),
+		Stats: RunStats{
+			Segments:          res.Plan.Segments,
+			Speedup:           res.Speedup,
+			IdealSpeedup:      res.IdealSpeedup,
+			BaselineNS:        res.BaselineCycles.Nanoseconds(),
+			ParallelNS:        res.TotalCycles.Nanoseconds(),
+			CutSymbol:         res.Plan.CutSym,
+			CutRange:          a.n.RangeSize(res.Plan.CutSym),
+			AvgActiveFlows:    res.AvgActiveFlows,
+			SwitchOverheadPct: res.SwitchOverheadPct,
+			FalseReportRatio:  res.ReportIncrease,
+			Verified:          res.Correct,
+		},
+	}, nil
+}
+
+// SymbolCycleNS is the modelled AP symbol cycle (7.5 ns).
+const SymbolCycleNS = ap.SymbolCycleNS

@@ -1,0 +1,63 @@
+package pap
+
+import (
+	"pap/internal/engine"
+)
+
+// Stream matches an automaton against input arriving incrementally —
+// network captures, log tails, anything that cannot be buffered whole.
+// Offsets are global across all written chunks. A Stream corresponds to
+// one AP flow processing an unbounded symbol sequence; it uses the
+// sequential engine (segment-parallel matching needs the whole input for
+// range-guided partitioning).
+//
+//	s := a.NewStream()
+//	for chunk := range chunks {
+//	    for _, m := range s.Write(chunk) {
+//	        handle(m)
+//	    }
+//	}
+type Stream struct {
+	a      *Automaton
+	eng    *engine.Sparse
+	offset int64
+	// scratch accumulates the current chunk's matches.
+	scratch []Match
+}
+
+// NewStream returns a matcher positioned at input offset 0.
+func (a *Automaton) NewStream() *Stream {
+	return &Stream{a: a, eng: engine.NewSparse(a.n)}
+}
+
+// Write consumes the next chunk and returns the matches it completed, in
+// order. The returned slice is reused by the next Write; copy it to
+// retain. Matches are deduplicated per (offset, reporting state) within
+// the chunk, like AP report events.
+func (s *Stream) Write(chunk []byte) []Match {
+	s.scratch = s.scratch[:0]
+	var reports []engine.Report
+	emit := func(r engine.Report) { reports = append(reports, r) }
+	for _, sym := range chunk {
+		s.eng.Step(sym, s.offset, emit)
+		s.offset++
+	}
+	for _, r := range engine.DedupeReports(reports) {
+		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
+	}
+	return s.scratch
+}
+
+// Offset returns the number of bytes consumed so far.
+func (s *Stream) Offset() int64 { return s.offset }
+
+// ActiveStates returns the number of currently enabled states beyond the
+// always-active baseline — a load indicator for monitoring.
+func (s *Stream) ActiveStates() int { return s.eng.FrontierLen() }
+
+// Reset rewinds the stream to offset 0 and the start configuration.
+func (s *Stream) Reset() {
+	s.eng = engine.NewSparse(s.a.n)
+	s.offset = 0
+	s.scratch = s.scratch[:0]
+}

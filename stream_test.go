@@ -1,0 +1,84 @@
+package pap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesWholeInput: chunked streaming must produce exactly the
+// matches of one-shot matching, for arbitrary chunkings.
+func TestStreamMatchesWholeInput(t *testing.T) {
+	a, err := Compile("s", []string{"abc", "bc+d", "x.z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	input := makeInput(1<<14, 6, "abc", "bccd", "xyz")
+	want := a.Match(input)
+
+	for trial := 0; trial < 5; trial++ {
+		s := a.NewStream()
+		var got []Match
+		pos := 0
+		for pos < len(input) {
+			n := 1 + rng.Intn(700)
+			if pos+n > len(input) {
+				n = len(input) - pos
+			}
+			got = append(got, s.Write(input[pos:pos+n])...)
+			pos += n
+		}
+		if s.Offset() != int64(len(input)) {
+			t.Fatalf("offset = %d, want %d", s.Offset(), len(input))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d matches, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d match %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamMatchesAcrossChunkBoundary: a pattern split across Write calls
+// must still match.
+func TestStreamMatchesAcrossChunkBoundary(t *testing.T) {
+	a, _ := Compile("s", []string{"needle"})
+	s := a.NewStream()
+	if got := s.Write([]byte("xxnee")); len(got) != 0 {
+		t.Fatalf("premature matches: %+v", got)
+	}
+	got := s.Write([]byte("dlexx"))
+	if len(got) != 1 || got[0].Offset != 7 {
+		t.Fatalf("split match = %+v, want one ending at 7", got)
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	a, _ := Compile("s", []string{"ab"})
+	s := a.NewStream()
+	s.Write([]byte("a"))
+	if s.ActiveStates() != 1 {
+		t.Fatalf("active = %d after partial match", s.ActiveStates())
+	}
+	s.Reset()
+	if s.Offset() != 0 || s.ActiveStates() != 0 {
+		t.Fatalf("reset incomplete: offset=%d active=%d", s.Offset(), s.ActiveStates())
+	}
+	if got := s.Write([]byte("b")); len(got) != 0 {
+		t.Fatalf("state leaked across Reset: %+v", got)
+	}
+	if got := s.Write([]byte("ab")); len(got) != 1 || got[0].Offset != 2 {
+		t.Fatalf("post-reset offsets wrong: %+v", got)
+	}
+}
+
+func TestStreamEmptyWrite(t *testing.T) {
+	a, _ := Compile("s", []string{"ab"})
+	s := a.NewStream()
+	if got := s.Write(nil); len(got) != 0 {
+		t.Fatalf("nil write matched: %+v", got)
+	}
+}
