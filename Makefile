@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench experiments report clean
+.PHONY: all build test vet race fuzz bench experiments report serve clean
 
 all: build vet test
 
@@ -34,5 +34,11 @@ experiments:
 report:
 	$(GO) run ./cmd/papbench -experiment all -report report.html
 
+# Build and launch the matching daemon (see docs/SERVER.md).
+serve:
+	$(GO) build -o bin/papd ./cmd/papd
+	./bin/papd
+
 clean:
 	rm -f report.html test_output.txt bench_output.txt
+	rm -rf bin

@@ -1,0 +1,131 @@
+// Command papd runs the Parallel Automata Processor matching daemon: an
+// HTTP service hosting compiled automata, matching payloads sequentially
+// or with the paper's segment-parallel algorithm, and feeding persistent
+// streaming sessions. See docs/SERVER.md for the API.
+//
+// Usage:
+//
+//	papd [-addr :8461] [-workers N] [-queue N] [-timeout 30s]
+//	     [-stream-idle 10m] [-max-body 16777216]
+//	     [-preload name=patterns.txt]...
+//
+// Each -preload flag registers a regex ruleset at startup from a file of
+// one pattern per line (blank lines and #-comment lines skipped).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pap/internal/server"
+)
+
+type preloadFlag struct {
+	specs []string
+}
+
+func (p *preloadFlag) String() string { return strings.Join(p.specs, ",") }
+
+func (p *preloadFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=file, got %q", v)
+	}
+	p.specs = append(p.specs, v)
+	return nil
+}
+
+// readPatterns parses a pattern file: one pattern per line, blank lines
+// and lines starting with # skipped.
+func readPatterns(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+// preload registers every name=file spec into the server's registry.
+func preload(s *server.Server, specs []string) error {
+	for _, spec := range specs {
+		name, file, _ := strings.Cut(spec, "=")
+		patterns, err := readPatterns(file)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", spec, err)
+		}
+		e, err := s.Registry().Register(name, "regex", patterns, 0)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", spec, err)
+		}
+		st := e.Automaton.Stats()
+		log.Printf("preloaded %q: %d patterns, %d states", name, len(patterns), st.States)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8461", "listen address")
+		workers    = flag.Int("workers", 0, "matching workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "queued matches beyond workers before 429 (0 = 4x workers)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request match timeout")
+		streamIdle = flag.Duration("stream-idle", 10*time.Minute, "expire streaming sessions idle this long (<0 disables)")
+		maxBody    = flag.Int64("max-body", 16<<20, "maximum request payload bytes")
+		drainWait  = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
+		preloads   preloadFlag
+	)
+	flag.Var(&preloads, "preload", "register a ruleset at startup: name=patterns.txt (repeatable)")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Addr:              *addr,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MatchTimeout:      *timeout,
+		StreamIdleTimeout: *streamIdle,
+		MaxBodyBytes:      *maxBody,
+	})
+	if err := preload(s, preloads.specs); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	log.Printf("papd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %s", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := s.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Print("papd stopped")
+}

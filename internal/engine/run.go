@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"slices"
 	"sort"
 
 	"pap/internal/nfa"
@@ -82,15 +83,20 @@ type ReportKey struct {
 }
 
 // DedupeReports sorts reports by (offset, state) and removes duplicates.
+// It sorts in place and allocates nothing, so hot paths (Stream.Write) can
+// call it per chunk.
 func DedupeReports(rs []Report) []Report {
 	if len(rs) <= 1 {
 		return rs
 	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Offset != rs[j].Offset {
-			return rs[i].Offset < rs[j].Offset
+	slices.SortFunc(rs, func(a, b Report) int {
+		if a.Offset != b.Offset {
+			if a.Offset < b.Offset {
+				return -1
+			}
+			return 1
 		}
-		return rs[i].State < rs[j].State
+		return int(a.State) - int(b.State)
 	})
 	out := rs[:1]
 	for _, r := range rs[1:] {

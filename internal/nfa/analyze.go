@@ -9,8 +9,15 @@ import (
 // ConnectedComponents returns, for each state, the ID of its (undirected)
 // connected component, and the number of components. Components are the
 // "disconnected sub-graphs" of §3.3.1: patterns that share no states. The
-// result is computed once and cached.
+// result is computed once and cached; safe for concurrent use.
 func (n *NFA) ConnectedComponents() (ids []int32, count int) {
+	n.analysisMu.Lock()
+	defer n.analysisMu.Unlock()
+	return n.ccLocked()
+}
+
+// ccLocked computes/returns the component table; analysisMu must be held.
+func (n *NFA) ccLocked() (ids []int32, count int) {
 	if n.cc != nil {
 		return n.cc, n.ccCount
 	}
@@ -57,8 +64,11 @@ func (n *NFA) CCOf(q StateID) int32 {
 
 // CCMask returns a bitmap of all states in component cc. Masks are the
 // per-component bitmaps used to split a merged flow's results (§3.3.1).
+// Safe for concurrent use; callers must not modify the result.
 func (n *NFA) CCMask(cc int32) *bitset.Set {
-	ids, count := n.ConnectedComponents()
+	n.analysisMu.Lock()
+	defer n.analysisMu.Unlock()
+	ids, count := n.ccLocked()
 	if n.ccMasks == nil {
 		n.ccMasks = make([]*bitset.Set, count)
 	}
@@ -77,8 +87,12 @@ func (n *NFA) CCMask(cc int32) *bitset.Set {
 // Range returns the range of symbol σ (§3.1): the sorted union of the
 // children of every state whose label matches σ. During execution, after
 // consuming σ the enabled set is always a subset of Range(σ) ∪ AllInput.
-// The result is cached; callers must not modify it.
+// The result is cached; callers must not modify it. Safe for concurrent
+// use: each cache entry is written exactly once under analysisMu and never
+// mutated afterwards.
 func (n *NFA) Range(sym byte) []StateID {
+	n.analysisMu.Lock()
+	defer n.analysisMu.Unlock()
 	e := &n.rangeTab[sym]
 	if e.computed {
 		return e.states

@@ -15,6 +15,7 @@ package nfa
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pap/internal/bitset"
 )
@@ -55,13 +56,15 @@ type NFA struct {
 	startOfData []StateID
 	allInput    []StateID
 
-	// lazily computed analyses (never mutated after first computation; the
-	// NFA is used from a single goroutine during planning, and engines only
-	// read precomputed fields).
-	cc       []int32
-	ccCount  int
-	ccMasks  []*bitset.Set
-	rangeTab []rangeEntry
+	// lazily computed analyses, guarded by analysisMu so that one compiled
+	// NFA can be shared by concurrent planners (compile-once,
+	// share-everywhere). Each cache is written exactly once; engines only
+	// read precomputed fields and never touch these.
+	analysisMu sync.Mutex
+	cc         []int32
+	ccCount    int
+	ccMasks    []*bitset.Set
+	rangeTab   []rangeEntry
 }
 
 type rangeEntry struct {

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pap"
+)
+
+// routes mounts every endpoint. The API is documented in docs/SERVER.md.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+
+	s.mux.HandleFunc("POST /v1/automata", s.instrument("automata_register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/automata", s.instrument("automata_list", s.handleListAutomata))
+	s.mux.HandleFunc("GET /v1/automata/{name}", s.instrument("automata_get", s.handleGetAutomaton))
+	s.mux.HandleFunc("DELETE /v1/automata/{name}", s.instrument("automata_delete", s.handleDeleteAutomaton))
+	s.mux.HandleFunc("POST /v1/automata/{name}/match", s.instrument("match", s.handleMatch))
+
+	s.mux.HandleFunc("POST /v1/streams", s.instrument("stream_open", s.handleOpenStream))
+	s.mux.HandleFunc("GET /v1/streams", s.instrument("stream_list", s.handleListStreams))
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.instrument("stream_get", s.handleGetStream))
+	s.mux.HandleFunc("POST /v1/streams/{id}/write", s.instrument("stream_write", s.handleStreamWrite))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("stream_close", s.handleCloseStream))
+}
+
+// ---- JSON shapes ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type registerRequest struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind,omitempty"` // "regex" (default), "hamming", "levenshtein"
+	Patterns []string `json:"patterns"`
+	Distance int      `json:"distance,omitempty"`
+}
+
+type automatonJSON struct {
+	Name     string    `json:"name"`
+	Kind     string    `json:"kind"`
+	Patterns int       `json:"patterns"`
+	Distance int       `json:"distance,omitempty"`
+	Created  time.Time `json:"created"`
+
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+	Components  int `json:"components"`
+	Reporting   int `json:"reporting"`
+
+	Requests int64 `json:"requests"`
+	Matches  int64 `json:"matches"`
+}
+
+type matchJSON struct {
+	Code   int32 `json:"code"`
+	Offset int64 `json:"offset"`
+}
+
+type apStatsJSON struct {
+	Segments          int     `json:"segments"`
+	Speedup           float64 `json:"speedup"`
+	IdealSpeedup      float64 `json:"ideal_speedup"`
+	BaselineNS        float64 `json:"baseline_ns"`
+	ParallelNS        float64 `json:"parallel_ns"`
+	CutSymbol         byte    `json:"cut_symbol"`
+	CutRange          int     `json:"cut_range"`
+	AvgActiveFlows    float64 `json:"avg_active_flows"`
+	SwitchOverheadPct float64 `json:"switch_overhead_pct"`
+	FalseReportRatio  float64 `json:"false_report_ratio"`
+	Verified          bool    `json:"verified"`
+}
+
+type matchResponse struct {
+	Automaton  string       `json:"automaton"`
+	Mode       string       `json:"mode"`
+	InputBytes int          `json:"input_bytes"`
+	Matches    []matchJSON  `json:"matches"`
+	ElapsedMS  float64      `json:"elapsed_ms"`
+	AP         *apStatsJSON `json:"ap,omitempty"` // parallel mode only
+}
+
+type openStreamRequest struct {
+	Automaton string `json:"automaton"`
+}
+
+type streamWriteResponse struct {
+	Matches []matchJSON `json:"matches"`
+	Offset  int64       `json:"offset"`
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody reads the request body up to the configured limit, translating
+// overflow into 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"payload exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// dispatch runs fn on the worker pool under the match timeout, translating
+// pool backpressure into 429 and timeouts into 503. Returns true when fn
+// ran to completion and the caller should write its success response.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, fn func()) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MatchTimeout)
+	defer cancel()
+	switch err := s.pool.Do(ctx, fn); {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrQueueFull):
+		s.poolRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "matching queue full, retry later")
+	case errors.Is(err, ErrPoolClosed):
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable,
+			"match timed out after %s", s.cfg.MatchTimeout)
+	default: // client went away (context canceled) or similar
+		writeErr(w, http.StatusServiceUnavailable, "request aborted: %v", err)
+	}
+	return false
+}
+
+func toMatchJSON(ms []pap.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{Code: m.Code, Offset: m.Offset}
+	}
+	return out
+}
+
+func (s *Server) automatonJSON(e *Entry) automatonJSON {
+	st := e.Automaton.Stats()
+	return automatonJSON{
+		Name:        e.Name,
+		Kind:        e.Kind,
+		Patterns:    e.Patterns,
+		Distance:    e.Distance,
+		Created:     e.Created,
+		States:      st.States,
+		Transitions: st.Transitions,
+		Components:  st.ConnectedComponents,
+		Reporting:   st.ReportingStates,
+		Requests:    e.Requests.Load(),
+		Matches:     e.Matches.Load(),
+	}
+}
+
+func (s *Server) countMatches(e *Entry, n int) {
+	e.Requests.Add(1)
+	e.Matches.Add(int64(n))
+	s.metrics.Counter("papd_automaton_matches_total",
+		"Matches reported, by automaton.",
+		fmt.Sprintf("automaton=%q", EscapeLabelValue(e.Name))).Add(int64(n))
+}
+
+// ---- probes and metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// ---- automata ----
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req registerRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	e, err := s.reg.Register(req.Name, req.Kind, req.Patterns, req.Distance)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, s.automatonJSON(e))
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrTooMany):
+		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleListAutomata(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	out := make([]automatonJSON, len(entries))
+	for i, e := range entries {
+		out[i] = s.automatonJSON(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"automata": out})
+}
+
+func (s *Server) handleGetAutomaton(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.automatonJSON(e))
+}
+
+func (s *Server) handleDeleteAutomaton(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- matching ----
+
+// parseParallelConfig builds a pap.Config from match query parameters.
+func parseParallelConfig(q map[string][]string) (pap.Config, error) {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	cfg := pap.DefaultConfig(1)
+	if v := get("ranks"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 4 {
+			return cfg, fmt.Errorf("ranks must be 1..4, got %q", v)
+		}
+		cfg.Ranks = n
+	}
+	if v := get("segments"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("segments must be >= 1, got %q", v)
+		}
+		cfg.MaxSegments = n
+	}
+	if v := get("speculate"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("speculate must be a bool, got %q", v)
+		}
+		cfg.Speculate = b
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	payload, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	mode := q.Get("mode")
+	if mode == "" || mode == "seq" {
+		mode = "sequential"
+	}
+
+	var (
+		resp     matchResponse
+		matchErr error
+	)
+	start := time.Now()
+	switch mode {
+	case "sequential":
+		if !s.dispatch(w, r, func() {
+			resp.Matches = toMatchJSON(e.Automaton.Match(payload))
+		}) {
+			return
+		}
+	case "parallel":
+		cfg, err := parseParallelConfig(q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var rep *pap.Report
+		if !s.dispatch(w, r, func() {
+			rep, matchErr = e.Automaton.MatchParallel(payload, cfg)
+		}) {
+			return
+		}
+		if matchErr != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "parallel match: %v", matchErr)
+			return
+		}
+		resp.Matches = toMatchJSON(rep.Matches)
+		st := rep.Stats
+		resp.AP = &apStatsJSON{
+			Segments:          st.Segments,
+			Speedup:           st.Speedup,
+			IdealSpeedup:      st.IdealSpeedup,
+			BaselineNS:        st.BaselineNS,
+			ParallelNS:        st.ParallelNS,
+			CutSymbol:         st.CutSymbol,
+			CutRange:          st.CutRange,
+			AvgActiveFlows:    st.AvgActiveFlows,
+			SwitchOverheadPct: st.SwitchOverheadPct,
+			FalseReportRatio:  st.FalseReportRatio,
+			Verified:          st.Verified,
+		}
+		s.speedupHist.Observe(st.Speedup)
+	default:
+		writeErr(w, http.StatusBadRequest,
+			`mode must be "sequential" (default) or "parallel", got %q`, mode)
+		return
+	}
+
+	resp.Automaton = e.Name
+	resp.Mode = mode
+	resp.InputBytes = len(payload)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.countMatches(e, len(resp.Matches))
+	if resp.Matches == nil {
+		resp.Matches = []matchJSON{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- streaming sessions ----
+
+func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req openStreamRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	e, err := s.reg.Get(req.Automaton)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sess, err := s.sessions.Create(e)
+	if err != nil {
+		if errors.Is(err, ErrTooManySessions) {
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"streams": s.sessions.List()})
+}
+
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	chunk, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var (
+		ms        []pap.Match
+		offset    int64
+		writeErr2 error
+	)
+	if !s.dispatch(w, r, func() {
+		ms, offset, writeErr2 = sess.Write(chunk)
+	}) {
+		return
+	}
+	if writeErr2 != nil {
+		writeErr(w, http.StatusNotFound, "%v", writeErr2)
+		return
+	}
+	if e, err := s.reg.Get(sess.Automaton); err == nil {
+		s.countMatches(e, len(ms))
+	}
+	s.streamBytes.Add(int64(len(chunk)))
+	resp := streamWriteResponse{Matches: toMatchJSON(ms), Offset: offset}
+	if resp.Matches == nil {
+		resp.Matches = []matchJSON{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.Close(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

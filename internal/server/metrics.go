@@ -1,0 +1,213 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a minimal, dependency-free metrics registry that renders the
+// Prometheus text exposition format (version 0.0.4). It supports exactly
+// what papd needs — counters, function-backed gauges, and fixed-bucket
+// histograms, each optionally carrying one preformatted label set — and
+// nothing more. All instruments are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byName: make(map[string]*family)}
+}
+
+type family struct {
+	name, help, typ string
+
+	mu     sync.Mutex
+	order  []string // label-set insertion order, for stable rendering
+	counts map[string]*Counter
+	gauges map[string]func() float64
+	hists  map[string]*Histogram
+}
+
+func (m *Metrics) family(name, help, typ string) *family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]func() float64),
+		hists:  make(map[string]*Histogram),
+	}
+	m.byName[name] = f
+	m.families = append(m.families, f)
+	return f
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns (creating on first use) the counter for the given label
+// set. labels is a preformatted Prometheus label body such as
+// `code="200",handler="match"`, or "" for an unlabelled metric; label
+// values must already be escaped.
+func (m *Metrics) Counter(name, help, labels string) *Counter {
+	f := m.family(name, help, "counter")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.counts[labels]
+	if !ok {
+		c = &Counter{}
+		f.counts[labels] = c
+		f.order = append(f.order, labels)
+	}
+	return c
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+// Registering the same (name, labels) twice replaces the function.
+func (m *Metrics) GaugeFunc(name, help, labels string, fn func() float64) {
+	f := m.family(name, help, "gauge")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.gauges[labels]; !ok {
+		f.order = append(f.order, labels)
+	}
+	f.gauges[labels] = fn
+}
+
+// Histogram is a fixed-bucket histogram with cumulative bucket semantics.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefaultLatencyBuckets covers 100µs .. ~100s, the range papd requests
+// plausibly span.
+var DefaultLatencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram returns (creating on first use) the histogram for the given
+// label set, with the given bucket upper bounds (sorted ascending; +Inf is
+// implicit). Buckets are fixed at first creation.
+func (m *Metrics) Histogram(name, help, labels string, buckets []float64) *Histogram {
+	f := m.family(name, help, "histogram")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hists[labels]
+	if !ok {
+		upper := make([]float64, len(buckets))
+		copy(upper, buckets)
+		sort.Float64s(upper)
+		h = &Histogram{upper: upper, buckets: make([]atomic.Int64, len(upper))}
+		f.hists[labels] = h
+		f.order = append(f.order, labels)
+	}
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// format, families in registration order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	fams := make([]*family, len(m.families))
+	copy(fams, m.families)
+	m.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, labels := range f.order {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(w, "%s %d\n", instName(f.name, labels), f.counts[labels].Value())
+			case "gauge":
+				fmt.Fprintf(w, "%s %s\n", instName(f.name, labels), formatFloat(f.gauges[labels]()))
+			case "histogram":
+				h := f.hists[labels]
+				cum := int64(0)
+				for i, ub := range h.upper {
+					cum += h.buckets[i].Load()
+					fmt.Fprintf(w, "%s %d\n", instName(f.name+"_bucket", joinLabels(labels, fmt.Sprintf(`le="%s"`, formatFloat(ub)))), cum)
+				}
+				fmt.Fprintf(w, "%s %d\n", instName(f.name+"_bucket", joinLabels(labels, `le="+Inf"`)), h.Count())
+				fmt.Fprintf(w, "%s %s\n", instName(f.name+"_sum", labels), formatFloat(h.Sum()))
+				fmt.Fprintf(w, "%s %d\n", instName(f.name+"_count", labels), h.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+func instName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// EscapeLabelValue escapes a string for use as a Prometheus label value.
+func EscapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("papd_test_total", "A test counter.", `kind="a"`)
+	c.Add(3)
+	m.Counter("papd_test_total", "A test counter.", `kind="b"`).Inc()
+	m.GaugeFunc("papd_test_gauge", "A test gauge.", "", func() float64 { return 2.5 })
+	h := m.Histogram("papd_test_seconds", "A test histogram.", "", []float64{0.1, 1})
+	h.Observe(0.0625) // exactly representable: the _sum line stays exact
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP papd_test_total A test counter.",
+		"# TYPE papd_test_total counter",
+		`papd_test_total{kind="a"} 3`,
+		`papd_test_total{kind="b"} 1`,
+		"# TYPE papd_test_gauge gauge",
+		"papd_test_gauge 2.5",
+		"# TYPE papd_test_seconds histogram",
+		`papd_test_seconds_bucket{le="0.1"} 1`,
+		`papd_test_seconds_bucket{le="1"} 2`,
+		`papd_test_seconds_bucket{le="+Inf"} 3`,
+		"papd_test_seconds_sum 5.5625",
+		"papd_test_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsSameInstrumentReturned(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("x_total", "h", "")
+	b := m.Counter("x_total", "h", "")
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Counter("c_total", "h", "").Inc()
+				m.Histogram("h_seconds", "h", "", DefaultLatencyBuckets).Observe(0.01)
+				var b strings.Builder
+				if i%50 == 0 {
+					m.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c_total", "h", "").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := m.Histogram("h_seconds", "h", "", DefaultLatencyBuckets).Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := EscapeLabelValue("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escaped = %q", got)
+	}
+}

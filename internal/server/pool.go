@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool: a fixed number of workers drain a bounded
+// queue. A full queue rejects immediately (ErrQueueFull → HTTP 429
+// backpressure) instead of letting latency grow without bound; a request
+// whose context expires while its task is still queued is abandoned
+// without ever running. Close drains everything already accepted, which is
+// what lets papd shut down gracefully with no match dropped mid-flight.
+type Pool struct {
+	tasks    chan *poolTask
+	wg       sync.WaitGroup // workers
+	active   atomic.Int64
+	started  atomic.Int64
+	rejected atomic.Int64
+
+	mu      sync.RWMutex // guards closed vs. sends on tasks
+	closed  bool
+	workers int
+}
+
+type poolTask struct {
+	fn      func()
+	claimed atomic.Bool // set by the worker (run it) or by Do (abandon it)
+	done    chan struct{}
+}
+
+// ErrQueueFull is returned by Do when the queue has no room; callers
+// should translate it to a retryable backpressure signal (HTTP 429).
+var ErrQueueFull = errors.New("server: worker pool queue full")
+
+// ErrPoolClosed is returned by Do after Close.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// NewPool starts a pool with the given worker count and queue depth.
+// workers <= 0 defaults to GOMAXPROCS; queue <= 0 defaults to 2×workers.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{tasks: make(chan *poolTask, queue), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if !t.claimed.CompareAndSwap(false, true) {
+			continue // abandoned while queued (caller timed out)
+		}
+		p.active.Add(1)
+		p.started.Add(1)
+		t.fn()
+		p.active.Add(-1)
+		close(t.done)
+	}
+}
+
+// Do submits fn and waits until it completes or ctx is done. It returns
+// ErrQueueFull without blocking when the queue is full, and ctx.Err() when
+// the context expires first — in which case fn either never runs (it was
+// still queued and is dropped) or is already running on a worker and will
+// finish in the background; either way its results must be discarded.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	t := &poolTask{fn: fn, done: make(chan struct{})}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- t:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		if t.claimed.CompareAndSwap(false, true) {
+			return ctx.Err() // still queued: abandoned, will never run
+		}
+		// Already running. Report the timeout; the worker finishes and
+		// discards into the abandoned task.
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of tasks currently waiting in the queue.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCap returns the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Active returns the number of tasks currently executing.
+func (p *Pool) Active() int64 { return p.active.Load() }
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Started returns the cumulative number of tasks that began executing.
+func (p *Pool) Started() int64 { return p.started.Load() }
+
+// Rejected returns the cumulative number of ErrQueueFull rejections.
+func (p *Pool) Rejected() int64 { return p.rejected.Load() }
+
+// Close stops accepting work, drains every task already queued, and waits
+// for all workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

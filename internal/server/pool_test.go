@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				err := p.Do(context.Background(), func() { n.Add(1) })
+				if err == nil {
+					return
+				}
+				if err != ErrQueueFull {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond) // backpressure: retry
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 64 {
+		t.Fatalf("ran %d tasks, want 64", n.Load())
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() { close(running); <-block }) //nolint:errcheck
+	<-running
+
+	// Fill the single queue slot.
+	queued := make(chan error, 1)
+	go func() { queued <- p.Do(context.Background(), func() {}) }()
+
+	// Wait until the slot is actually occupied, then expect rejection.
+	deadline := time.After(2 * time.Second)
+	for p.QueueDepth() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("queued task never appeared")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := p.Do(context.Background(), func() {}); err != ErrQueueFull {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	if p.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", p.Rejected())
+	}
+	close(block)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task failed: %v", err)
+	}
+}
+
+func TestPoolTimeoutWhileQueued(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() { close(running); <-block }) //nolint:errcheck
+	<-running
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := p.Do(ctx, func() { ran = true })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	close(block)
+	p.Close() // drain
+	if ran {
+		t.Fatal("abandoned queued task still ran")
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 16)
+	var n atomic.Int64
+	done := make(chan struct{}, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_ = p.Do(context.Background(), func() {
+				time.Sleep(time.Millisecond)
+				n.Add(1)
+			})
+			done <- struct{}{}
+		}()
+	}
+	// Give the submitters a moment to enqueue, then close: every accepted
+	// task must still run.
+	time.Sleep(20 * time.Millisecond)
+	accepted := n.Load() + int64(p.QueueDepth()) + p.Active()
+	p.Close()
+	if got := n.Load(); got < accepted {
+		t.Fatalf("drained %d tasks, but %d were accepted", got, accepted)
+	}
+	if err := p.Do(context.Background(), func() {}); err != ErrPoolClosed {
+		t.Fatalf("expected ErrPoolClosed after Close, got %v", err)
+	}
+}

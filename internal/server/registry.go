@@ -1,0 +1,150 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pap"
+)
+
+// Registry holds the compiled automata papd serves. Compilation happens
+// once, at registration; every match request and streaming session then
+// shares the same immutable *pap.Automaton (the package-level concurrency
+// contract makes this safe), so serving cost is pure matching cost.
+type Registry struct {
+	mu    sync.RWMutex
+	autos map[string]*Entry
+	max   int
+}
+
+// Entry is one registered ruleset with its serving statistics.
+type Entry struct {
+	Name      string
+	Kind      string // "regex", "hamming" or "levenshtein"
+	Patterns  int
+	Distance  int // for hamming/levenshtein
+	Created   time.Time
+	Automaton *pap.Automaton
+
+	// Serving counters, updated atomically by handlers.
+	Requests atomic.Int64 // match + stream-write requests served
+	Matches  atomic.Int64 // total matches reported
+}
+
+// Registration errors.
+var (
+	ErrExists      = errors.New("server: automaton already registered")
+	ErrNotFound    = errors.New("server: automaton not found")
+	ErrTooMany     = errors.New("server: automata limit reached")
+	ErrBadName     = errors.New(`server: name must match [A-Za-z0-9_.:-]{1,64}`)
+	ErrNoPatterns  = errors.New("server: at least one pattern required")
+	ErrUnknownKind = errors.New(`server: kind must be "regex", "hamming" or "levenshtein"`)
+)
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.:-]{1,64}$`)
+
+// NewRegistry returns an empty registry holding at most max automata
+// (max <= 0 means 1024).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Registry{autos: make(map[string]*Entry), max: max}
+}
+
+// Register compiles patterns under the given kind and stores the result.
+// kind "" defaults to "regex"; distance is only meaningful for "hamming"
+// and "levenshtein". Names are restricted so they can be embedded in
+// metric labels without escaping surprises.
+func (r *Registry) Register(name, kind string, patterns []string, distance int) (*Entry, error) {
+	if !nameRE.MatchString(name) {
+		return nil, ErrBadName
+	}
+	if len(patterns) == 0 {
+		return nil, ErrNoPatterns
+	}
+	var (
+		a   *pap.Automaton
+		err error
+	)
+	switch kind {
+	case "", "regex":
+		kind = "regex"
+		a, err = pap.Compile(name, patterns)
+	case "hamming":
+		a, err = pap.Hamming(name, patterns, distance)
+	case "levenshtein":
+		a, err = pap.Levenshtein(name, patterns, distance)
+	default:
+		return nil, ErrUnknownKind
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: compile %q: %w", name, err)
+	}
+	e := &Entry{
+		Name:      name,
+		Kind:      kind,
+		Patterns:  len(patterns),
+		Distance:  distance,
+		Created:   time.Now().UTC(),
+		Automaton: a,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.autos[name]; dup {
+		return nil, ErrExists
+	}
+	if len(r.autos) >= r.max {
+		return nil, ErrTooMany
+	}
+	r.autos[name] = e
+	return e, nil
+}
+
+// Get returns the entry for name, or ErrNotFound.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.autos[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return e, nil
+}
+
+// Delete removes name from the registry. Streaming sessions already bound
+// to the automaton keep working — the compiled automaton is immutable and
+// simply becomes unreachable for new work.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.autos[name]; !ok {
+		return ErrNotFound
+	}
+	delete(r.autos, name)
+	return nil
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.autos))
+	for _, e := range r.autos {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered automata.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.autos)
+}

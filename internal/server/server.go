@@ -1,0 +1,212 @@
+// Package server implements papd, the Parallel Automata Processor daemon:
+// a long-running, stdlib-only HTTP service that hosts a registry of
+// compiled automata and matches payloads against them — sequentially, in
+// parallel via the paper's enumerative segment-parallel algorithm
+// (pap.MatchParallel), or incrementally over persistent streaming
+// sessions (pap.Stream).
+//
+// Automata are compiled once at registration and shared immutably by
+// every request. Matching work runs on a bounded worker pool sized to
+// GOMAXPROCS with per-request timeouts; when the queue is full the
+// server sheds load with 429 instead of queueing unboundedly. The
+// service exposes Prometheus text-format metrics on /metrics,
+// liveness/readiness probes on /healthz and /readyz, and drains
+// in-flight matches on shutdown.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config controls a papd server. Zero values select sensible defaults.
+type Config struct {
+	// Addr is the listen address (default ":8461").
+	Addr string
+	// Workers bounds concurrent matching work (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued matching work beyond the workers; a full
+	// queue returns 429 (default 4×Workers).
+	QueueDepth int
+	// MatchTimeout bounds one match or stream write, queueing included
+	// (default 30s).
+	MatchTimeout time.Duration
+	// MaxBodyBytes bounds request payloads (default 16 MiB).
+	MaxBodyBytes int64
+	// StreamIdleTimeout expires streaming sessions with no writes for this
+	// long (default 10m; negative disables expiry).
+	StreamIdleTimeout time.Duration
+	// MaxAutomata bounds the registry (default 1024).
+	MaxAutomata int
+	// MaxStreams bounds live streaming sessions (default 4096).
+	MaxStreams int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8461"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MatchTimeout <= 0 {
+		c.MatchTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.StreamIdleTimeout == 0 {
+		c.StreamIdleTimeout = 10 * time.Minute
+	} else if c.StreamIdleTimeout < 0 {
+		c.StreamIdleTimeout = 0 // disabled
+	}
+	return c
+}
+
+// Server is one papd instance. Create with New, serve with ListenAndServe
+// (or mount Handler on your own listener), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	pool     *Pool
+	sessions *SessionManager
+	metrics  *Metrics
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ready    atomic.Bool
+	started  time.Time
+
+	// Pre-created instruments on hot paths.
+	latency      map[string]*Histogram
+	poolRejected *Counter
+	streamBytes  *Counter
+	speedupHist  *Histogram
+}
+
+// New assembles a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.MaxAutomata),
+		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
+		sessions: NewSessionManager(cfg.MaxStreams, cfg.StreamIdleTimeout),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		latency:  make(map[string]*Histogram),
+		started:  time.Now(),
+	}
+
+	m := s.metrics
+	s.poolRejected = m.Counter("papd_worker_pool_rejected_total",
+		"Requests shed with 429 because the worker-pool queue was full.", "")
+	s.streamBytes = m.Counter("papd_stream_bytes_total",
+		"Bytes consumed by streaming sessions.", "")
+	s.speedupHist = m.Histogram("papd_parallel_speedup",
+		"Modelled AP speedup of parallel matches over the sequential AP baseline.",
+		"", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	m.GaugeFunc("papd_worker_pool_workers", "Size of the matching worker pool.", "",
+		func() float64 { return float64(s.pool.Workers()) })
+	m.GaugeFunc("papd_worker_pool_active", "Matching tasks currently executing.", "",
+		func() float64 { return float64(s.pool.Active()) })
+	m.GaugeFunc("papd_worker_pool_queue_depth", "Matching tasks waiting in the queue.", "",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	m.GaugeFunc("papd_worker_pool_queue_capacity", "Capacity of the matching queue.", "",
+		func() float64 { return float64(s.pool.QueueCap()) })
+	m.GaugeFunc("papd_streams_active", "Live streaming sessions.", "",
+		func() float64 { return float64(s.sessions.Len()) })
+	m.GaugeFunc("papd_automata_registered", "Automata in the registry.", "",
+		func() float64 { return float64(s.reg.Len()) })
+	m.GaugeFunc("papd_uptime_seconds", "Seconds since the server started.", "",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.sessions.SetExpiredCounter(m.Counter("papd_streams_expired_total",
+		"Streaming sessions expired for idleness.", ""))
+
+	s.routes()
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the server's root handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the metrics registry (for preloading hooks and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the automata registry (for preloading rulesets).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ListenAndServe serves until Shutdown or listener failure.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown or listener failure.
+func (s *Server) Serve(ln net.Listener) error {
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Shutdown drains the server: readiness flips to draining (load balancers
+// stop sending), the HTTP server stops accepting and waits for in-flight
+// requests up to ctx, the worker pool finishes every accepted match, and
+// the session reaper stops.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.Close()
+	s.sessions.Stop()
+	return err
+}
+
+// instrument wraps h with request counting and latency observation under
+// the given handler label.
+func (s *Server) instrument(handler string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Histogram("papd_http_request_seconds",
+		"HTTP request latency in seconds.",
+		fmt.Sprintf("handler=%q", handler), DefaultLatencyBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.metrics.Counter("papd_http_requests_total",
+			"HTTP requests by handler and status code.",
+			fmt.Sprintf("handler=%q,code=\"%d\"", handler, sw.code)).Inc()
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

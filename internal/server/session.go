@@ -1,0 +1,240 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"pap"
+)
+
+// Session is one persistent streaming match: a pap.Stream bound to a
+// registered automaton, fed by successive write requests with offsets
+// global across all chunks — one modelled AP flow over an unbounded
+// symbol sequence. Sessions survive deletion of their automaton from the
+// registry (the compiled automaton is immutable); they die on explicit
+// close, server shutdown, or idle expiry.
+type Session struct {
+	ID        string
+	Automaton string
+	Created   time.Time
+
+	mu       sync.Mutex
+	stream   *pap.Stream
+	lastUsed time.Time
+	matches  int64
+	writes   int64
+	closed   bool
+}
+
+// ErrSessionNotFound is returned for unknown or expired session IDs.
+var ErrSessionNotFound = errors.New("server: stream session not found")
+
+// ErrTooManySessions is returned when the session limit is reached.
+var ErrTooManySessions = errors.New("server: stream session limit reached")
+
+// SessionInfo is a point-in-time snapshot of a session for JSON responses.
+type SessionInfo struct {
+	ID           string    `json:"id"`
+	Automaton    string    `json:"automaton"`
+	Created      time.Time `json:"created"`
+	LastUsed     time.Time `json:"last_used"`
+	Offset       int64     `json:"offset"`
+	Writes       int64     `json:"writes"`
+	Matches      int64     `json:"matches"`
+	ActiveStates int       `json:"active_states"`
+}
+
+// Write feeds one chunk to the session's stream and returns a copy of the
+// completed matches together with the stream offset after the write.
+func (s *Session) Write(chunk []byte) ([]pap.Match, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrSessionNotFound
+	}
+	ms := s.stream.Write(chunk)
+	out := make([]pap.Match, len(ms))
+	copy(out, ms) // the stream reuses its slice; callers get a stable copy
+	s.matches += int64(len(ms))
+	s.writes++
+	s.lastUsed = time.Now()
+	return out, s.stream.Offset(), nil
+}
+
+// Info snapshots the session state.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		ID:           s.ID,
+		Automaton:    s.Automaton,
+		Created:      s.Created,
+		LastUsed:     s.lastUsed,
+		Offset:       s.stream.Offset(),
+		Writes:       s.writes,
+		Matches:      s.matches,
+		ActiveStates: s.stream.ActiveStates(),
+	}
+}
+
+// SessionManager tracks live sessions and expires idle ones.
+type SessionManager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	max      int
+	idle     time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	expired  *Counter // optional, set by the server for metrics
+}
+
+// NewSessionManager returns a manager expiring sessions idle longer than
+// idle (0 disables expiry), holding at most max sessions (<= 0 means
+// 4096). Call Stop when done to release the reaper goroutine.
+func NewSessionManager(max int, idle time.Duration) *SessionManager {
+	if max <= 0 {
+		max = 4096
+	}
+	m := &SessionManager{
+		sessions: make(map[string]*Session),
+		max:      max,
+		idle:     idle,
+		stop:     make(chan struct{}),
+	}
+	if idle > 0 {
+		go m.reap()
+	}
+	return m
+}
+
+func (m *SessionManager) reap() {
+	tick := time.NewTicker(m.idle / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			cutoff := time.Now().Add(-m.idle)
+			m.mu.Lock()
+			for id, s := range m.sessions {
+				s.mu.Lock()
+				idleTooLong := s.lastUsed.Before(cutoff)
+				if idleTooLong {
+					s.closed = true
+				}
+				s.mu.Unlock()
+				if idleTooLong {
+					delete(m.sessions, id)
+					if m.expired != nil {
+						m.expired.Inc()
+					}
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Create opens a session over the given registry entry.
+func (m *SessionManager) Create(e *Entry) (*Session, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s := &Session{
+		ID:        id,
+		Automaton: e.Name,
+		Created:   now.UTC(),
+		stream:    e.Automaton.NewStream(),
+		lastUsed:  now,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sessions) >= m.max {
+		return nil, ErrTooManySessions
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Get returns the live session with the given ID.
+func (m *SessionManager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	return s, nil
+}
+
+// Close ends a session and removes it.
+func (m *SessionManager) Close(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return ErrSessionNotFound
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// List returns snapshots of all live sessions, sorted by creation time.
+func (m *SessionManager) List() []SessionInfo {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, len(ss))
+	for i, s := range ss {
+		out[i] = s.Info()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SetExpiredCounter wires a counter incremented per idle-expired session.
+func (m *SessionManager) SetExpiredCounter(c *Counter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expired = c
+}
+
+// Stop halts the reaper. Live sessions are left to the GC.
+func (m *SessionManager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}

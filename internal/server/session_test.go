@@ -1,0 +1,102 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func testEntry(t *testing.T) *Entry {
+	t.Helper()
+	r := NewRegistry(0)
+	e, err := r.Register("t", "regex", []string{"needle"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSessionWriteAcrossChunks(t *testing.T) {
+	m := NewSessionManager(0, 0)
+	defer m.Stop()
+	s, err := m.Create(testEntry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, off, err := s.Write([]byte("xxnee"))
+	if err != nil || len(ms) != 0 || off != 5 {
+		t.Fatalf("first write: ms=%v off=%d err=%v", ms, off, err)
+	}
+	ms, off, err = s.Write([]byte("dlexx"))
+	if err != nil || off != 10 {
+		t.Fatalf("second write: off=%d err=%v", off, err)
+	}
+	if len(ms) != 1 || ms[0].Offset != 7 {
+		t.Fatalf("split match = %+v, want one ending at 7", ms)
+	}
+	info := s.Info()
+	if info.Writes != 2 || info.Matches != 1 || info.Offset != 10 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	m := NewSessionManager(2, 0)
+	defer m.Stop()
+	e := testEntry(t)
+	if _, err := m.Create(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(e); err != ErrTooManySessions {
+		t.Fatalf("expected ErrTooManySessions, got %v", err)
+	}
+}
+
+func TestSessionCloseAndGet(t *testing.T) {
+	m := NewSessionManager(0, 0)
+	defer m.Stop()
+	s, _ := m.Create(testEntry(t))
+	if _, err := m.Get(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(s.ID); err != ErrSessionNotFound {
+		t.Fatalf("expected ErrSessionNotFound, got %v", err)
+	}
+	if _, _, err := s.Write([]byte("x")); err != ErrSessionNotFound {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := m.Close(s.ID); err != ErrSessionNotFound {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSessionIdleExpiry(t *testing.T) {
+	m := NewSessionManager(0, 40*time.Millisecond)
+	defer m.Stop()
+	c := &Counter{}
+	m.SetExpiredCounter(c)
+	s, _ := m.Create(testEntry(t))
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, err := m.Get(s.ID); err == ErrSessionNotFound {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("session never expired")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if c.Value() != 1 {
+		t.Fatalf("expired counter = %d, want 1", c.Value())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("sessions remaining: %d", m.Len())
+	}
+}

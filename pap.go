@@ -24,6 +24,17 @@
 // (execution), internal/ap (D480 board model), internal/core (the PAP
 // parallelization), internal/workloads and internal/experiments (the
 // paper's evaluation).
+//
+// # Concurrency
+//
+// An Automaton is immutable after compilation: Match, MatchParallel,
+// NewStream, Stats, RangeOf and the encoders may all be called
+// concurrently from any number of goroutines sharing one compiled
+// Automaton (compile once, share everywhere — the lazily computed
+// structural analyses are internally synchronized). A Stream, by
+// contrast, is a stateful single-flow matcher and is NOT safe for
+// concurrent use: create one Stream per goroutine, or serialize access
+// externally.
 package pap
 
 import (
@@ -135,6 +146,9 @@ func DecodeANML(r io.Reader) (*Automaton, error) {
 	}
 	return &Automaton{n: n}, nil
 }
+
+// Name returns the name the automaton was compiled under.
+func (a *Automaton) Name() string { return a.n.Name() }
 
 // EncodeANML writes the automaton as ANML XML.
 func (a *Automaton) EncodeANML(w io.Writer) error { return anml.Encode(w, a.n) }

@@ -1,0 +1,83 @@
+package pap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAutomatonSharedConcurrently exercises the package's documented
+// concurrency contract: one compiled Automaton may be shared by any number
+// of goroutines calling Match, MatchParallel, NewStream, Stats and RangeOf
+// simultaneously. Run with -race this also verifies that the lazily
+// computed structural analyses (symbol ranges, connected components) are
+// internally synchronized — the compile-once, share-everywhere model papd
+// relies on.
+func TestAutomatonSharedConcurrently(t *testing.T) {
+	a, err := Compile("shared", []string{"attack", "GET /admin", `[0-9][0-9]:[0-9][0-9]`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := makeInput(1<<12, 17, "attack", "GET /admin", "12:34")
+	want := a.Match(input)
+	if len(want) == 0 {
+		t.Fatal("baseline found no matches; test input is broken")
+	}
+
+	const goroutines = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0: // sequential matching
+					got := a.Match(input)
+					if len(got) != len(want) {
+						t.Errorf("goroutine %d: Match found %d, want %d", g, len(got), len(want))
+						return
+					}
+				case 1: // parallel matching (exercises planning analyses)
+					rep, err := a.MatchParallel(input, Config{Ranks: 1, MaxSegments: 4})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(rep.Matches) != len(want) {
+						t.Errorf("goroutine %d: MatchParallel found %d, want %d", g, len(rep.Matches), len(want))
+						return
+					}
+				case 2: // a private Stream over the shared automaton
+					s := a.NewStream()
+					var got int
+					for pos := 0; pos < len(input); pos += 512 {
+						end := pos + 512
+						if end > len(input) {
+							end = len(input)
+						}
+						got += len(s.Write(input[pos:end]))
+					}
+					if got != len(want) {
+						t.Errorf("goroutine %d: Stream found %d, want %d", g, got, len(want))
+						return
+					}
+				case 3: // structural analyses
+					if st := a.Stats(); st.States == 0 {
+						t.Errorf("goroutine %d: empty Stats", g)
+						return
+					}
+					for sym := 0; sym < 256; sym += 31 {
+						a.RangeOf(byte(sym))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -21,28 +21,40 @@ type Stream struct {
 	a      *Automaton
 	eng    *engine.Sparse
 	offset int64
-	// scratch accumulates the current chunk's matches.
+	// scratch accumulates the current chunk's matches and reports
+	// accumulates its raw report events; both are reused across Write
+	// calls, and emit is allocated once here, so steady-state writes
+	// allocate nothing.
 	scratch []Match
+	reports []engine.Report
+	emit    engine.EmitFunc
 }
 
 // NewStream returns a matcher positioned at input offset 0.
 func (a *Automaton) NewStream() *Stream {
-	return &Stream{a: a, eng: engine.NewSparse(a.n)}
+	s := &Stream{a: a, eng: engine.NewSparse(a.n)}
+	s.emit = func(r engine.Report) { s.reports = append(s.reports, r) }
+	return s
 }
 
 // Write consumes the next chunk and returns the matches it completed, in
 // order. The returned slice is reused by the next Write; copy it to
 // retain. Matches are deduplicated per (offset, reporting state) within
-// the chunk, like AP report events.
+// the chunk, like AP report events — and this is exactly the whole-input
+// Match semantics, regardless of how the input is chunked: the sequential
+// engine fires each enabled state at most once per symbol, so a given
+// (offset, state) event is emitted by exactly one Step inside exactly one
+// Write, and no deduplication opportunity can straddle a chunk boundary.
+// (Two distinct reporting states carrying the same code still yield two
+// matches at the same offset, in Match and Write alike.)
 func (s *Stream) Write(chunk []byte) []Match {
 	s.scratch = s.scratch[:0]
-	var reports []engine.Report
-	emit := func(r engine.Report) { reports = append(reports, r) }
+	s.reports = s.reports[:0]
 	for _, sym := range chunk {
-		s.eng.Step(sym, s.offset, emit)
+		s.eng.Step(sym, s.offset, s.emit)
 		s.offset++
 	}
-	for _, r := range engine.DedupeReports(reports) {
+	for _, r := range engine.DedupeReports(s.reports) {
 		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
 	}
 	return s.scratch

@@ -82,3 +82,67 @@ func TestStreamEmptyWrite(t *testing.T) {
 		t.Fatalf("nil write matched: %+v", got)
 	}
 }
+
+// TestStreamDedupeAcrossChunkBoundary pins down the deduplication contract
+// under chunking. Report events are deduplicated per (offset, reporting
+// state); two identical rules compile to two distinct reporting states, so
+// every occurrence yields two same-code same-offset matches — from Match
+// and from Stream alike. Because the sequential engine emits a given
+// (offset, state) event exactly once, splitting the input at any boundary
+// (including right after the reporting symbol) must never change the match
+// multiset: nothing that would dedupe within one Write can arrive split
+// across two.
+func TestStreamDedupeAcrossChunkBoundary(t *testing.T) {
+	a, err := CompileRules("dup", []Rule{
+		{Pattern: "dup", Code: 7},
+		{Pattern: "dup", Code: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("xdupdupydupz")
+	want := a.Match(input)
+	// Two reporting states per occurrence: expect duplicate (code, offset)
+	// pairs in the baseline itself.
+	if len(want) != 6 {
+		t.Fatalf("whole-input matches = %d, want 6 (two per occurrence): %+v", len(want), want)
+	}
+	for i := 0; i+1 < len(want); i += 2 {
+		if want[i] != want[i+1] {
+			t.Fatalf("expected equal-code equal-offset pair at %d: %+v vs %+v", i, want[i], want[i+1])
+		}
+	}
+	for split := 1; split < len(input); split++ {
+		s := a.NewStream()
+		var got []Match
+		got = append(got, s.Write(input[:split])...)
+		got = append(got, s.Write(input[split:])...)
+		if len(got) != len(want) {
+			t.Fatalf("split %d: %d matches, want %d: %+v", split, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("split %d match %d: %+v, want %+v", split, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkStreamWrite measures the steady-state cost of Write. The report
+// and match buffers live on the Stream and are reused, so a warmed stream
+// must not allocate per call.
+func BenchmarkStreamWrite(b *testing.B) {
+	a, err := Compile("bench", []string{"attack", "GET /admin", `[0-9][0-9][0-9]-[0-9]`})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := makeInput(1<<12, 11, "attack", "GET /admin")
+	s := a.NewStream()
+	s.Write(input) // warm the buffers
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(input)
+	}
+}
