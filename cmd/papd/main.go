@@ -6,11 +6,13 @@
 // Usage:
 //
 //	papd [-addr :8461] [-workers N] [-queue N] [-timeout 30s]
-//	     [-stream-idle 10m] [-max-body 16777216]
+//	     [-stream-idle 10m] [-max-body 16777216] [-engine auto]
 //	     [-preload name=patterns.txt]...
 //
 // Each -preload flag registers a regex ruleset at startup from a file of
-// one pattern per line (blank lines and #-comment lines skipped).
+// one pattern per line (blank lines and #-comment lines skipped);
+// -engine sets the default execution backend the preloaded rulesets are
+// served with (auto, sparse or bit — requests may override per call).
 package main
 
 import (
@@ -63,15 +65,16 @@ func readPatterns(path string) ([]string, error) {
 	return out, sc.Err()
 }
 
-// preload registers every name=file spec into the server's registry.
-func preload(s *server.Server, specs []string) error {
+// preload registers every name=file spec into the server's registry,
+// serving them with the given default engine.
+func preload(s *server.Server, specs []string, engine string) error {
 	for _, spec := range specs {
 		name, file, _ := strings.Cut(spec, "=")
 		patterns, err := readPatterns(file)
 		if err != nil {
 			return fmt.Errorf("preload %s: %w", spec, err)
 		}
-		e, err := s.Registry().Register(name, "regex", patterns, 0)
+		e, err := s.Registry().Register(name, "regex", patterns, 0, engine)
 		if err != nil {
 			return fmt.Errorf("preload %s: %w", spec, err)
 		}
@@ -90,6 +93,7 @@ func main() {
 		streamIdle = flag.Duration("stream-idle", 10*time.Minute, "expire streaming sessions idle this long (<0 disables)")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request payload bytes")
 		drainWait  = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
+		engine     = flag.String("engine", "auto", "default execution backend for preloaded rulesets: auto, sparse or bit")
 		preloads   preloadFlag
 	)
 	flag.Var(&preloads, "preload", "register a ruleset at startup: name=patterns.txt (repeatable)")
@@ -103,7 +107,7 @@ func main() {
 		StreamIdleTimeout: *streamIdle,
 		MaxBodyBytes:      *maxBody,
 	})
-	if err := preload(s, preloads.specs); err != nil {
+	if err := preload(s, preloads.specs, *engine); err != nil {
 		log.Fatal(err)
 	}
 

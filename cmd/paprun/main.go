@@ -6,6 +6,7 @@
 //
 //	paprun -rules rules.txt -input data.bin              # sequential
 //	paprun -rules rules.txt -input data.bin -parallel -ranks 4
+//	paprun -rules rules.txt -input data.bin -engine bit  # force a backend
 //	echo 'GET /admin' | paprun -rules rules.txt -parallel
 //
 // The rules file contains one pattern per line; blank lines and lines
@@ -34,16 +35,22 @@ func main() {
 		compress  = flag.Bool("compress", true, "apply common-prefix compression")
 		quiet     = flag.Bool("quiet", false, "suppress per-match output")
 		maxPrint  = flag.Int("max-print", 20, "print at most this many matches")
+		engName   = flag.String("engine", "auto", "execution backend: auto, sparse or bit")
 	)
 	flag.Parse()
 
-	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint); err != nil {
+	engine, err := pap.ParseEngineKind(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paprun:", err)
+		os.Exit(1)
+	}
+	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint, engine); err != nil {
 		fmt.Fprintln(os.Stderr, "paprun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int) error {
+func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int, engine pap.EngineKind) error {
 	var a *pap.Automaton
 	sources := 0
 	for _, p := range []string{rulesPath, anmlPath, mnrlPath} {
@@ -94,7 +101,9 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 
 	var matches []pap.Match
 	if parallel {
-		rep, err := a.MatchParallel(input, pap.DefaultConfig(ranks))
+		cfg := pap.DefaultConfig(ranks)
+		cfg.Engine = engine
+		rep, err := a.MatchParallel(input, cfg)
 		if err != nil {
 			return err
 		}
@@ -107,7 +116,7 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 		fmt.Printf("flows: %.1f avg active; switching overhead %.2f%%; report inflation %.2fx\n",
 			s.AvgActiveFlows, s.SwitchOverheadPct, s.FalseReportRatio)
 	} else {
-		matches = a.Match(input)
+		matches = a.MatchWith(input, engine)
 	}
 
 	fmt.Printf("%d matches\n", len(matches))

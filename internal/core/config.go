@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"pap/internal/ap"
+	"pap/internal/engine"
 )
 
 // Config controls planning, execution, and the timing model. The zero
@@ -65,6 +66,15 @@ type Config struct {
 	// segment concurrently. It affects wall-clock simulation speed only,
 	// never modelled AP cycles. Default: GOMAXPROCS.
 	Workers int
+
+	// Engine selects the execution backend for every engine this run
+	// creates — the golden run, the per-flow TDM engines, and speculative
+	// re-runs. The zero value (engine.Auto) adapts between the sparse
+	// frontier-list and dense bit-vector representations by frontier
+	// density; engine.SparseKind and engine.BitKind force one. The choice
+	// affects simulator wall-clock speed only, never modelled AP cycles or
+	// results (the backends are observably equivalent).
+	Engine engine.Kind
 
 	// Speculate replaces enumeration with speculative execution (the
 	// paper's §6 future-work direction): each segment predicts that its
@@ -128,6 +138,9 @@ func (c *Config) validate() error {
 	}
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Engine > engine.BitKind {
+		return fmt.Errorf("core: unknown engine kind %d", c.Engine)
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ type segmentResult struct {
 	ConvCompares  int64 // comparator accesses (overlapped, §3.3.3)
 	EventsEmitted int64 // all output-buffer entries, true and false paths
 	Transitions   int64 // successor traversals (energy proxy, §5.3)
+	EngSwitches   int64 // adaptive-engine representation switches (Auto only)
 
 	flows    []*flowRun
 	svc      *ap.SVC // flow context store (one SVC per replica)
@@ -90,9 +91,9 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 	if workers < 1 {
 		workers = 1
 	}
-	engines := make([]*engine.Sparse, workers)
+	engines := make([]engine.Engine, workers)
 	for i := range engines {
-		engines[i] = engine.NewSparse(p.NFA)
+		engines[i] = p.newEngine()
 	}
 
 	pos := seg.Start
@@ -136,7 +137,7 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 			}
 			for w := 0; w < nw; w++ {
 				wg.Add(1)
-				go func(e *engine.Sparse) {
+				go func(e engine.Engine) {
 					defer wg.Done()
 					for f := range work {
 						p.runFlowRound(seg, f, input, e, pos, k, round == 0, asgTrace)
@@ -208,6 +209,9 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 			}
 		}
 	}
+	for _, e := range engines {
+		seg.EngSwitches += adaptiveSwitches(e)
+	}
 	// Hardware-faithful totals: on the AP every alive flow re-fires the
 	// always-enabled baseline each cycle, so the baseline's transitions and
 	// report events are duplicated across flows (the simulator computes
@@ -229,7 +233,7 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 // probe snapshots; for other flows in round 0 it compares against the
 // provided snapshots and kills the flow at the first probe where it has
 // fully converged onto the baseline.
-func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e *engine.Sparse,
+func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engine.Engine,
 	pos, k int, firstRound bool, asgTrace []snapshot) []snapshot {
 
 	// The ASG/golden flow simulates the shared baseline (all-input states
@@ -255,7 +259,7 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e *eng
 			trace = append(trace, snapshot{
 				after:    i + 1,
 				fp:       e.Fingerprint(),
-				frontier: sortedIDs(e.Frontier()),
+				frontier: frontierOf(e),
 			})
 			continue
 		}
@@ -266,7 +270,7 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e *eng
 			if !dead && p.Cfg.AbsorbDeactivation {
 				// The flow's hardware vector equals the ASG flow's exactly
 				// when its enumeration activity is inside the baseline's.
-				dead = subsetOf(sortedIDs(e.Frontier()), s.frontier)
+				dead = subsetOf(frontierOf(e), s.frontier)
 			}
 			if dead {
 				f.alive = false
@@ -279,9 +283,25 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e *eng
 			probe++
 		}
 	}
-	seg.svc.Save(f.svcID, sortedIDs(e.Frontier()), e.Fingerprint())
+	seg.svc.Save(f.svcID, frontierOf(e), e.Fingerprint())
 	f.trans += e.Transitions() - t0
 	return trace
+}
+
+// frontierOf materialises an engine's frontier as a fresh sorted slice.
+func frontierOf(e engine.Engine) []nfa.StateID {
+	ids := e.AppendFrontier(nil)
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// adaptiveSwitches returns the representation-switch count of an adaptive
+// engine, and 0 for the fixed backends.
+func adaptiveSwitches(e engine.Engine) int64 {
+	if a, ok := e.(*engine.Adaptive); ok {
+		return a.Switches()
+	}
+	return 0
 }
 
 // convergeFlows merges flows with identical state vectors (§3.3.3). The

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pap/internal/ap"
+	"pap/internal/engine"
 	"pap/internal/nfa"
 )
 
@@ -61,6 +62,17 @@ type Plan struct {
 	ExactCuts int
 
 	symPlans map[byte]*SymbolPlan
+
+	// tables is the automaton's symbol→match-vector table, shared by every
+	// bit-capable engine this plan creates. Fills are atomic, so the many
+	// flow engines of one run (and their goroutines) share it race-free.
+	tables *engine.Tables
+}
+
+// newEngine creates one execution engine of the configured backend kind,
+// sharing the plan's match tables.
+func (p *Plan) newEngine() engine.Engine {
+	return engine.New(p.Cfg.Engine, p.NFA, p.tables)
 }
 
 // NewPlan runs the pre-processing pipeline of §3.5: choose the cut symbol
@@ -114,6 +126,7 @@ func NewPlan(n *nfa.NFA, input []byte, cfg Config) (*Plan, error) {
 		Placement: placement,
 		Segments:  segments,
 		symPlans:  make(map[byte]*SymbolPlan),
+		tables:    engine.NewTables(n),
 	}
 	freq := profile(input)
 	if cfg.CutSymbol >= 0 {

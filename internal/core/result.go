@@ -24,10 +24,11 @@ type SegmentStats struct {
 	SwitchCycles  ap.Cycles
 	HostCycles    ap.Cycles
 	KnownAt       ap.Cycles
-	Events        int64
-	Transitions   int64
-	Mispredicted  bool      // speculation only
-	RerunCycles   ap.Cycles // speculation only
+	Events         int64
+	Transitions    int64
+	EngineSwitches int64     // adaptive-backend representation switches
+	Mispredicted   bool      // speculation only
+	RerunCycles    ap.Cycles // speculation only
 }
 
 // Result is the outcome of one PAP execution: the composed (exact) report
@@ -63,6 +64,10 @@ type Result struct {
 	// §5.3 energy proxy: PAP transitions per symbol / sequential
 	// transitions per symbol.
 	TransitionRatio float64
+	// EngineSwitches counts adaptive-backend representation switches
+	// across all segment engines (0 for the fixed backends) — a simulator
+	// observability figure, not an AP cost.
+	EngineSwitches int64
 
 	// CapacityNote is non-empty when the flow plan exceeds the SVC limit
 	// (the run still simulates, as the paper's pre-optimization analyses do).
@@ -93,7 +98,7 @@ func Baseline(inputLen int, events int) ap.Cycles {
 // Execute runs the plan against the input it was built for.
 func (p *Plan) Execute(input []byte) (*Result, error) {
 	res := &Result{Plan: p, IdealSpeedup: float64(p.Segments)}
-	golden, bounds := engine.RunWithBoundaries(p.NFA, input, p.Cuts)
+	golden, bounds := engine.RunWithBoundariesEngine(p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables)
 	res.Golden = golden
 	res.BaselineCycles = Baseline(len(input), len(golden.Reports))
 	if err := p.CheckCapacity(); err != nil {
@@ -335,14 +340,15 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 			Convergences:  seg.Convergences,
 			FIVKills:      seg.FIVKills,
 			FIVApplied:    seg.FIVApplied,
-			Cycles:        seg.Cycles,
-			SwitchCycles:  seg.SwitchCycles,
-			HostCycles:    seg.HostCycles,
-			KnownAt:       seg.KnownAt,
-			Events:        seg.EventsEmitted,
-			Transitions:   seg.Transitions,
-			Mispredicted:  seg.Mispredicted,
-			RerunCycles:   seg.RerunCycles,
+			Cycles:         seg.Cycles,
+			SwitchCycles:   seg.SwitchCycles,
+			HostCycles:     seg.HostCycles,
+			KnownAt:        seg.KnownAt,
+			Events:         seg.EventsEmitted,
+			Transitions:    seg.Transitions,
+			EngineSwitches: seg.EngSwitches,
+			Mispredicted:   seg.Mispredicted,
+			RerunCycles:    seg.RerunCycles,
 		})
 		if seg.Mispredicted {
 			res.MispredictedSegments++
@@ -351,6 +357,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 		switchCyc += seg.SwitchCycles
 		events += seg.EventsEmitted
 		trans += seg.Transitions
+		res.EngineSwitches += seg.EngSwitches
 		if seg.Index > 0 {
 			flowRounds += seg.FlowRounds
 			rounds += int64(seg.Rounds)

@@ -43,7 +43,7 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		alive:  true,
 		attrib: []attribEntry{{CC: -1, Unit: -1, From: int64(seg.Start)}},
 	}
-	e := engine.NewSparse(p.NFA)
+	e := p.newEngine()
 	e.SetBaseline(false)
 	e.Reset(boundary.Enabled)
 	emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
@@ -52,6 +52,7 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		rerun.symbols++
 	}
 	rerun.trans = e.Transitions()
+	seg.EngSwitches += adaptiveSwitches(e)
 	seg.flows = append(seg.flows, rerun)
 
 	// Timing: the re-run occupies the segment's half-core for its full

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"pap/internal/bitset"
+	"pap/internal/nfa"
+)
+
+// Adaptive switching policy. Density is frontier size relative to the
+// automaton's state count; the two thresholds are deliberately apart
+// (hysteresis) and switches are rate-limited so an oscillating frontier
+// cannot thrash between representations. See docs/ENGINES.md for the
+// rationale and measurements.
+const (
+	// adaptiveDenseDiv: go dense when frontier > states/adaptiveDenseDiv
+	// (density above 1/8).
+	adaptiveDenseDiv = 8
+	// adaptiveSparseDiv: go back to sparse when frontier <
+	// states/adaptiveSparseDiv (density below 1/16).
+	adaptiveSparseDiv = 16
+	// adaptiveHoldSteps is the minimum number of Steps between two
+	// representation switches.
+	adaptiveHoldSteps = 16
+)
+
+// Adaptive is the density-adaptive engine: it executes on the Sparse
+// engine while the frontier is small (most inputs, most of the time) and
+// migrates the frontier to the Bit engine when density crosses the dense
+// threshold — the regime the AP's every-cycle dense state-vector update is
+// built for, common under enumeration where a segment runs |Range(σ)|
+// flows at once. Both representations produce identical observable
+// behaviour, so switching is invisible except in speed. Not safe for
+// concurrent use; the shared Tables is.
+type Adaptive struct {
+	n        *nfa.NFA
+	states   int
+	tab      *Tables
+	sparse   *Sparse
+	bit      *Bit // created on the first switch to dense
+	cur      Engine
+	dense    bool
+	baseline bool
+	switches int64
+	since    int // steps since the last switch (rate limit)
+	seedBuf  []nfa.StateID
+}
+
+// NewAdaptive returns an adaptive engine at the start configuration,
+// initially in sparse representation, sharing tab (nil allocates private
+// lazily-filled tables, only ever touched after a dense switch).
+func NewAdaptive(n *nfa.NFA, tab *Tables) *Adaptive {
+	if tab == nil {
+		tab = NewTables(n)
+	}
+	a := &Adaptive{
+		n:        n,
+		states:   n.Len(),
+		tab:      tab,
+		sparse:   NewSparse(n),
+		baseline: true,
+		since:    adaptiveHoldSteps,
+	}
+	a.cur = a.sparse
+	return a
+}
+
+// Reset replaces the frontier with the given seed states, staying in the
+// current representation (the next Step re-evaluates density immediately).
+func (a *Adaptive) Reset(seed []nfa.StateID) {
+	a.cur.Reset(seed)
+	a.since = adaptiveHoldSteps
+}
+
+// SetBaseline switches baseline injection; see Sparse.SetBaseline.
+func (a *Adaptive) SetBaseline(on bool) {
+	a.baseline = on
+	a.cur.SetBaseline(on)
+}
+
+// Step consumes one symbol. The density check runs before the step, so the
+// fired set observable afterwards always belongs to the engine that
+// executed this symbol. The hot path dispatches on the concrete engines
+// (not through Engine) to keep sparse-regime overhead in the noise.
+func (a *Adaptive) Step(sym byte, off int64, emit EmitFunc) {
+	if a.since >= adaptiveHoldSteps {
+		if !a.dense {
+			if len(a.sparse.frontier)*adaptiveDenseDiv > a.states {
+				a.switchTo(true)
+			}
+		} else if a.bit.enabled.Count()*adaptiveSparseDiv < a.states {
+			a.switchTo(false)
+		}
+	} else {
+		a.since++
+	}
+	if a.dense {
+		a.bit.Step(sym, off, emit)
+	} else {
+		a.sparse.Step(sym, off, emit)
+	}
+}
+
+// switchTo migrates the frontier into the other representation — the
+// cross-engine analogue of an SVC context switch. The transition counters
+// of both engines persist, so Transitions stays cumulative.
+func (a *Adaptive) switchTo(dense bool) {
+	var to Engine
+	if dense {
+		if a.bit == nil {
+			a.bit = NewBit(a.n, a.tab)
+		}
+		to = a.bit
+	} else {
+		to = a.sparse
+	}
+	a.seedBuf = a.cur.AppendFrontier(a.seedBuf[:0])
+	to.SetBaseline(a.baseline)
+	to.Reset(a.seedBuf)
+	a.cur = to
+	a.dense = dense
+	a.switches++
+	a.since = 0
+}
+
+// Dense reports whether the engine is currently in the bit representation.
+func (a *Adaptive) Dense() bool { return a.dense }
+
+// Switches returns the number of representation switches performed.
+func (a *Adaptive) Switches() int64 { return a.switches }
+
+// FrontierLen returns the number of enabled states (excluding all-input).
+func (a *Adaptive) FrontierLen() int { return a.cur.FrontierLen() }
+
+// Dead reports whether the frontier is empty.
+func (a *Adaptive) Dead() bool { return a.cur.Dead() }
+
+// Fingerprint returns the Zobrist fingerprint of the frontier.
+func (a *Adaptive) Fingerprint() uint64 { return a.cur.Fingerprint() }
+
+// Transitions returns cumulative transition-edge traversals across both
+// representations.
+func (a *Adaptive) Transitions() int64 {
+	t := a.sparse.Transitions()
+	if a.bit != nil {
+		t += a.bit.Transitions()
+	}
+	return t
+}
+
+// AppendFrontier appends the enabled states to dst and returns it.
+func (a *Adaptive) AppendFrontier(dst []nfa.StateID) []nfa.StateID {
+	return a.cur.AppendFrontier(dst)
+}
+
+// AppendFired appends the states that fired on the most recent Step.
+func (a *Adaptive) AppendFired(dst []nfa.StateID) []nfa.StateID {
+	return a.cur.AppendFired(dst)
+}
+
+// FrontierSet materialises the frontier as a fresh bit vector.
+func (a *Adaptive) FrontierSet() *bitset.Set { return a.cur.FrontierSet() }

@@ -44,7 +44,7 @@ func TestBaselineDecomposition(t *testing.T) {
 			base.Step(sym, int64(i), func(r Report) { baseReports = append(baseReports, r) })
 
 			union := unionIDs(enum.Frontier(), base.Frontier())
-			got := sortedCopy(full.Frontier())
+			got := sortedIDs(full.AppendFrontier(nil))
 			if !equalIDs(union, got) {
 				t.Fatalf("trial %d step %d: full=%v, enum∪base=%v", trial, i, got, union)
 			}

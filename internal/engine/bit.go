@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"pap/internal/bitset"
 	"pap/internal/nfa"
 )
@@ -8,18 +10,23 @@ import (
 // Tables holds per-automaton precomputed match vectors: for each symbol σ,
 // the set of states whose label contains σ. On the AP this is the DRAM row
 // addressed by σ; reading it is the state-match phase. Tables are built
-// lazily per symbol and may be shared by many Bit engines.
+// lazily per symbol with atomic publication, so one Tables may be shared by
+// any number of engines across goroutines (the engines themselves remain
+// single-goroutine). Call BuildAll to pay the whole construction cost up
+// front instead.
 type Tables struct {
 	n     *nfa.NFA
-	match [256]*bitset.Set
+	match [256]atomic.Pointer[bitset.Set]
 }
 
 // NewTables returns empty (lazily filled) match tables for n.
 func NewTables(n *nfa.NFA) *Tables { return &Tables{n: n} }
 
 // Match returns the match vector for symbol sym, building it on first use.
+// Concurrent first uses may build duplicate vectors; exactly one wins the
+// publication race and all callers observe that one thereafter.
 func (t *Tables) Match(sym byte) *bitset.Set {
-	if m := t.match[sym]; m != nil {
+	if m := t.match[sym].Load(); m != nil {
 		return m
 	}
 	m := bitset.New(t.n.Len())
@@ -28,8 +35,18 @@ func (t *Tables) Match(sym byte) *bitset.Set {
 			m.Set(q)
 		}
 	}
-	t.match[sym] = m
-	return m
+	if t.match[sym].CompareAndSwap(nil, m) {
+		return m
+	}
+	return t.match[sym].Load()
+}
+
+// BuildAll eagerly fills every symbol's match vector and returns t.
+func (t *Tables) BuildAll() *Tables {
+	for s := 0; s < 256; s++ {
+		t.Match(byte(s))
+	}
+	return t
 }
 
 // Bit is the dense state-vector engine, mirroring the AP's per-STE enable
@@ -118,3 +135,42 @@ func (e *Bit) Fired() *bitset.Set { return e.firedBs }
 
 // Transitions returns cumulative transition-edge traversals.
 func (e *Bit) Transitions() int64 { return e.trans }
+
+// FrontierLen returns the number of enabled states (excluding all-input).
+func (e *Bit) FrontierLen() int { return e.enabled.Count() }
+
+// Dead reports whether the frontier is empty.
+func (e *Bit) Dead() bool { return e.enabled.Empty() }
+
+// Fingerprint returns the Zobrist fingerprint of the enabled vector,
+// identical to the sparse engine's over the same frontier.
+func (e *Bit) Fingerprint() uint64 {
+	var fp uint64
+	e.enabled.ForEach(func(i int) bool {
+		fp ^= Key(nfa.StateID(i))
+		return true
+	})
+	return fp
+}
+
+// AppendFrontier appends the enabled states to dst in ascending order.
+func (e *Bit) AppendFrontier(dst []nfa.StateID) []nfa.StateID {
+	e.enabled.ForEach(func(i int) bool {
+		dst = append(dst, nfa.StateID(i))
+		return true
+	})
+	return dst
+}
+
+// AppendFired appends the states that fired on the most recent Step, in
+// ascending order.
+func (e *Bit) AppendFired(dst []nfa.StateID) []nfa.StateID {
+	e.firedBs.ForEach(func(i int) bool {
+		dst = append(dst, nfa.StateID(i))
+		return true
+	})
+	return dst
+}
+
+// FrontierSet returns a fresh copy of the enabled vector.
+func (e *Bit) FrontierSet() *bitset.Set { return e.enabled.Clone() }

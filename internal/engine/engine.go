@@ -4,19 +4,125 @@
 // enabling its children for the next step — and all-input start states are
 // re-enabled every step.
 //
-// Two implementations are provided with identical observable behaviour:
+// Three implementations are provided with identical observable behaviour:
 //
 //   - Sparse tracks the enabled frontier as a deduplicated slice, the way
 //     VASim does; cost is proportional to the number of active states.
 //   - Bit tracks the frontier as a dense bit vector, the way the AP's
 //     state-enable mask and State Vector Cache do.
+//   - Adaptive starts sparse and switches representation when the frontier
+//     density crosses a threshold (with hysteresis both ways), so dense
+//     enumeration phases run on the bit engine and quiet phases stay sparse.
 //
-// Tests assert their equivalence on random automata and inputs.
+// All three satisfy the Engine interface; execution layers select a backend
+// through Kind and New. Tests assert their equivalence on random automata
+// and inputs.
 package engine
 
 import (
+	"fmt"
+
 	"pap/internal/bitset"
 	"pap/internal/nfa"
+)
+
+// Engine is the pluggable execution backend: one enabled-state frontier
+// advancing one symbol per Step with exact AP symbol-cycle semantics.
+// Engines over the same automaton are observably interchangeable — same
+// reports, same frontiers, same fingerprints, same transition counts.
+// Implementations are not safe for concurrent use; a shared *Tables is.
+type Engine interface {
+	// Reset replaces the frontier with the given seed states (all-input
+	// states in the seed are dropped; duplicates are removed). The
+	// cumulative transition counter is preserved.
+	Reset(seed []nfa.StateID)
+	// SetBaseline switches all-input ("baseline") injection; see
+	// Sparse.SetBaseline for the decomposition contract.
+	SetBaseline(on bool)
+	// Step consumes one symbol at the given input offset. emit may be nil.
+	Step(sym byte, off int64, emit EmitFunc)
+	// FrontierLen returns the number of enabled states (excluding
+	// all-input states).
+	FrontierLen() int
+	// Dead reports whether the frontier is empty (deactivation check).
+	Dead() bool
+	// Fingerprint returns the Zobrist fingerprint of the frontier; stable
+	// across engines (see Key).
+	Fingerprint() uint64
+	// Transitions returns cumulative transition-edge traversals, the
+	// paper's dynamic-energy proxy.
+	Transitions() int64
+	// AppendFrontier appends the enabled states (excluding all-input) to
+	// dst and returns it. Order is unspecified; Bit-backed engines happen
+	// to append in ascending order.
+	AppendFrontier(dst []nfa.StateID) []nfa.StateID
+	// AppendFired appends the states that fired on the most recent Step.
+	AppendFired(dst []nfa.StateID) []nfa.StateID
+	// FrontierSet materialises the frontier as a freshly allocated bit
+	// vector (the AP state vector, minus the always-set all-input bits).
+	FrontierSet() *bitset.Set
+}
+
+// Kind names an execution backend for layers that thread engine selection
+// (core, streams, the public pap API, papd). The zero value is Auto.
+type Kind uint8
+
+const (
+	// Auto selects the adaptive engine: sparse until the frontier density
+	// crosses a threshold, dense bit-vector beyond it (the default).
+	Auto Kind = iota
+	// SparseKind forces the frontier-list engine.
+	SparseKind
+	// BitKind forces the dense bit-vector engine.
+	BitKind
+)
+
+// String returns the parseable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case SparseKind:
+		return "sparse"
+	case BitKind:
+		return "bit"
+	default:
+		return "auto"
+	}
+}
+
+// ParseKind parses an engine name: "auto" (or "adaptive"), "sparse", "bit"
+// (or "dense"). The empty string is Auto.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "auto", "adaptive":
+		return Auto, nil
+	case "sparse":
+		return SparseKind, nil
+	case "bit", "dense":
+		return BitKind, nil
+	}
+	return Auto, fmt.Errorf(`engine: unknown kind %q (want "auto", "sparse" or "bit")`, s)
+}
+
+// New returns an engine of the given kind at the automaton's start
+// configuration. tab may be nil (private tables are built on demand); pass
+// a shared *Tables to amortise match-vector construction across engines of
+// the same automaton — Tables fills are atomic, so sharing is race-safe.
+// Sparse engines ignore tab.
+func New(kind Kind, n *nfa.NFA, tab *Tables) Engine {
+	switch kind {
+	case SparseKind:
+		return NewSparse(n)
+	case BitKind:
+		return NewBit(n, tab)
+	default:
+		return NewAdaptive(n, tab)
+	}
+}
+
+var (
+	_ Engine = (*Sparse)(nil)
+	_ Engine = (*Bit)(nil)
+	_ Engine = (*Adaptive)(nil)
 )
 
 // Report is one output event: reporting state State (carrying rule
@@ -149,6 +255,16 @@ func (e *Sparse) FiredLast() []nfa.StateID { return e.fired }
 
 // FrontierLen returns the number of enabled states (excluding all-input).
 func (e *Sparse) FrontierLen() int { return len(e.frontier) }
+
+// AppendFrontier appends the enabled states to dst and returns it.
+func (e *Sparse) AppendFrontier(dst []nfa.StateID) []nfa.StateID {
+	return append(dst, e.frontier...)
+}
+
+// AppendFired appends the states that fired on the most recent Step.
+func (e *Sparse) AppendFired(dst []nfa.StateID) []nfa.StateID {
+	return append(dst, e.fired...)
+}
 
 // Dead reports whether the frontier is empty: the flow has no activity
 // beyond the always-enabled baseline (deactivation check, §3.3.4).

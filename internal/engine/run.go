@@ -15,18 +15,25 @@ type Result struct {
 	SumFrontier int64 // Σ frontier size over all positions (avg = Sum/len)
 }
 
-// Run executes the automaton over the whole input with the Sparse engine
-// and collects all reports in order.
+// Run executes the automaton over the whole input with the default (Auto)
+// backend and collects all reports in order.
 func Run(n *nfa.NFA, input []byte) Result {
-	e := NewSparse(n)
+	return RunEngine(n, input, Auto, nil)
+}
+
+// RunEngine is Run with an explicit backend kind and optional shared match
+// tables (nil builds private tables on demand; sparse ignores them).
+func RunEngine(n *nfa.NFA, input []byte, kind Kind, tab *Tables) Result {
+	e := New(kind, n, tab)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	for i, sym := range input {
 		e.Step(sym, int64(i), emit)
-		if l := e.FrontierLen(); l > res.MaxFrontier {
+		l := e.FrontierLen()
+		if l > res.MaxFrontier {
 			res.MaxFrontier = l
 		}
-		res.SumFrontier += int64(e.FrontierLen())
+		res.SumFrontier += int64(l)
 	}
 	res.Transitions = e.Transitions()
 	return res
@@ -44,22 +51,29 @@ type Boundary struct {
 // RunWithBoundaries is Run, additionally recording the golden state at each
 // cut position. cuts must be strictly increasing, in (0, len(input)).
 func RunWithBoundaries(n *nfa.NFA, input []byte, cuts []int) (Result, []Boundary) {
-	e := NewSparse(n)
+	return RunWithBoundariesEngine(n, input, cuts, Auto, nil)
+}
+
+// RunWithBoundariesEngine is RunWithBoundaries with an explicit backend
+// kind and optional shared match tables.
+func RunWithBoundariesEngine(n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables) (Result, []Boundary) {
+	e := New(kind, n, tab)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	bounds := make([]Boundary, 0, len(cuts))
 	ci := 0
 	for i, sym := range input {
 		e.Step(sym, int64(i), emit)
-		if l := e.FrontierLen(); l > res.MaxFrontier {
+		l := e.FrontierLen()
+		if l > res.MaxFrontier {
 			res.MaxFrontier = l
 		}
-		res.SumFrontier += int64(e.FrontierLen())
+		res.SumFrontier += int64(l)
 		if ci < len(cuts) && cuts[ci] == i+1 {
 			bounds = append(bounds, Boundary{
 				Pos:     i + 1,
-				Fired:   sortedCopy(e.FiredLast()),
-				Enabled: sortedCopy(e.Frontier()),
+				Fired:   sortedIDs(e.AppendFired(nil)),
+				Enabled: sortedIDs(e.AppendFrontier(nil)),
 			})
 			ci++
 		}
@@ -68,11 +82,10 @@ func RunWithBoundaries(n *nfa.NFA, input []byte, cuts []int) (Result, []Boundary
 	return res, bounds
 }
 
-func sortedCopy(ids []nfa.StateID) []nfa.StateID {
-	out := make([]nfa.StateID, len(ids))
-	copy(out, ids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// sortedIDs sorts ids in place and returns them.
+func sortedIDs(ids []nfa.StateID) []nfa.StateID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // ReportKey is a comparable identity for deduplicating report events across

@@ -43,6 +43,7 @@ type registerRequest struct {
 	Kind     string   `json:"kind,omitempty"` // "regex" (default), "hamming", "levenshtein"
 	Patterns []string `json:"patterns"`
 	Distance int      `json:"distance,omitempty"`
+	Engine   string   `json:"engine,omitempty"` // "auto" (default), "sparse", "bit"
 }
 
 type automatonJSON struct {
@@ -50,6 +51,7 @@ type automatonJSON struct {
 	Kind     string    `json:"kind"`
 	Patterns int       `json:"patterns"`
 	Distance int       `json:"distance,omitempty"`
+	Engine   string    `json:"engine"`
 	Created  time.Time `json:"created"`
 
 	States      int `json:"states"`
@@ -77,12 +79,14 @@ type apStatsJSON struct {
 	AvgActiveFlows    float64 `json:"avg_active_flows"`
 	SwitchOverheadPct float64 `json:"switch_overhead_pct"`
 	FalseReportRatio  float64 `json:"false_report_ratio"`
+	EngineSwitches    int64   `json:"engine_switches"`
 	Verified          bool    `json:"verified"`
 }
 
 type matchResponse struct {
 	Automaton  string       `json:"automaton"`
 	Mode       string       `json:"mode"`
+	Engine     string       `json:"engine"`
 	InputBytes int          `json:"input_bytes"`
 	Matches    []matchJSON  `json:"matches"`
 	ElapsedMS  float64      `json:"elapsed_ms"`
@@ -91,6 +95,7 @@ type matchResponse struct {
 
 type openStreamRequest struct {
 	Automaton string `json:"automaton"`
+	Engine    string `json:"engine,omitempty"` // overrides the ruleset default
 }
 
 type streamWriteResponse struct {
@@ -168,6 +173,7 @@ func (s *Server) automatonJSON(e *Entry) automatonJSON {
 		Kind:        e.Kind,
 		Patterns:    e.Patterns,
 		Distance:    e.Distance,
+		Engine:      e.Engine.String(),
 		Created:     e.Created,
 		States:      st.States,
 		Transitions: st.Transitions,
@@ -175,6 +181,12 @@ func (s *Server) automatonJSON(e *Entry) automatonJSON {
 		Reporting:   st.ReportingStates,
 		Requests:    e.Requests.Load(),
 		Matches:     e.Matches.Load(),
+	}
+}
+
+func (s *Server) countEngineSteps(k pap.EngineKind, symbols int) {
+	if int(k) < len(s.engineSteps) {
+		s.engineSteps[k].Add(int64(symbols))
 	}
 }
 
@@ -220,7 +232,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	e, err := s.reg.Register(req.Name, req.Kind, req.Patterns, req.Distance)
+	e, err := s.reg.Register(req.Name, req.Kind, req.Patterns, req.Distance, req.Engine)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusCreated, s.automatonJSON(e))
@@ -294,6 +306,19 @@ func parseParallelConfig(q map[string][]string) (pap.Config, error) {
 	return cfg, nil
 }
 
+// resolveEngine picks the execution backend for a request: the "engine"
+// query parameter when present, the ruleset's registered default otherwise.
+func resolveEngine(q map[string][]string, e *Entry) (pap.EngineKind, error) {
+	if vs := q["engine"]; len(vs) > 0 && vs[0] != "" {
+		k, err := pap.ParseEngineKind(vs[0])
+		if err != nil {
+			return pap.EngineAuto, fmt.Errorf(`engine must be "auto", "sparse" or "bit", got %q`, vs[0])
+		}
+		return k, nil
+	}
+	return e.Engine, nil
+}
+
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
@@ -309,6 +334,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if mode == "" || mode == "seq" {
 		mode = "sequential"
 	}
+	eng, err := resolveEngine(q, e)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	var (
 		resp     matchResponse
@@ -318,16 +348,18 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	switch mode {
 	case "sequential":
 		if !s.dispatch(w, r, func() {
-			resp.Matches = toMatchJSON(e.Automaton.Match(payload))
+			resp.Matches = toMatchJSON(e.Automaton.MatchWith(payload, eng))
 		}) {
 			return
 		}
+		s.countEngineSteps(eng, len(payload))
 	case "parallel":
 		cfg, err := parseParallelConfig(q)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		cfg.Engine = eng
 		var rep *pap.Report
 		if !s.dispatch(w, r, func() {
 			rep, matchErr = e.Automaton.MatchParallel(payload, cfg)
@@ -351,9 +383,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			AvgActiveFlows:    st.AvgActiveFlows,
 			SwitchOverheadPct: st.SwitchOverheadPct,
 			FalseReportRatio:  st.FalseReportRatio,
+			EngineSwitches:    st.EngineSwitches,
 			Verified:          st.Verified,
 		}
 		s.speedupHist.Observe(st.Speedup)
+		s.countEngineSteps(eng, len(payload))
+		s.engineSwitches.Add(st.EngineSwitches)
 	default:
 		writeErr(w, http.StatusBadRequest,
 			`mode must be "sequential" (default) or "parallel", got %q`, mode)
@@ -362,6 +397,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 	resp.Automaton = e.Name
 	resp.Mode = mode
+	resp.Engine = eng.String()
 	resp.InputBytes = len(payload)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.countMatches(e, len(resp.Matches))
@@ -388,7 +424,15 @@ func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sess, err := s.sessions.Create(e)
+	eng := e.Engine
+	if req.Engine != "" {
+		if eng, err = pap.ParseEngineKind(req.Engine); err != nil {
+			writeErr(w, http.StatusBadRequest,
+				`engine must be "auto", "sparse" or "bit", got %q`, req.Engine)
+			return
+		}
+	}
+	sess, err := s.sessions.Create(e, eng)
 	if err != nil {
 		if errors.Is(err, ErrTooManySessions) {
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
@@ -426,10 +470,11 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 	var (
 		ms        []pap.Match
 		offset    int64
+		switches  int64
 		writeErr2 error
 	)
 	if !s.dispatch(w, r, func() {
-		ms, offset, writeErr2 = sess.Write(chunk)
+		ms, offset, switches, writeErr2 = sess.Write(chunk)
 	}) {
 		return
 	}
@@ -441,6 +486,8 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 		s.countMatches(e, len(ms))
 	}
 	s.streamBytes.Add(int64(len(chunk)))
+	s.countEngineSteps(sess.Engine, len(chunk))
+	s.engineSwitches.Add(switches)
 	resp := streamWriteResponse{Matches: toMatchJSON(ms), Offset: offset}
 	if resp.Matches == nil {
 		resp.Matches = []matchJSON{}

@@ -27,7 +27,8 @@ type Entry struct {
 	Name      string
 	Kind      string // "regex", "hamming" or "levenshtein"
 	Patterns  int
-	Distance  int // for hamming/levenshtein
+	Distance  int            // for hamming/levenshtein
+	Engine    pap.EngineKind // default execution backend for this ruleset
 	Created   time.Time
 	Automaton *pap.Automaton
 
@@ -44,6 +45,7 @@ var (
 	ErrBadName     = errors.New(`server: name must match [A-Za-z0-9_.:-]{1,64}`)
 	ErrNoPatterns  = errors.New("server: at least one pattern required")
 	ErrUnknownKind = errors.New(`server: kind must be "regex", "hamming" or "levenshtein"`)
+	ErrBadEngine   = errors.New(`server: engine must be "auto", "sparse" or "bit"`)
 )
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.:-]{1,64}$`)
@@ -59,14 +61,20 @@ func NewRegistry(max int) *Registry {
 
 // Register compiles patterns under the given kind and stores the result.
 // kind "" defaults to "regex"; distance is only meaningful for "hamming"
-// and "levenshtein". Names are restricted so they can be embedded in
-// metric labels without escaping surprises.
-func (r *Registry) Register(name, kind string, patterns []string, distance int) (*Entry, error) {
+// and "levenshtein". engineName sets the ruleset's default execution
+// backend ("" means "auto"); individual requests may override it. Names
+// are restricted so they can be embedded in metric labels without
+// escaping surprises.
+func (r *Registry) Register(name, kind string, patterns []string, distance int, engineName string) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, ErrBadName
 	}
 	if len(patterns) == 0 {
 		return nil, ErrNoPatterns
+	}
+	eng, engErr := pap.ParseEngineKind(engineName)
+	if engErr != nil {
+		return nil, ErrBadEngine
 	}
 	var (
 		a   *pap.Automaton
@@ -91,6 +99,7 @@ func (r *Registry) Register(name, kind string, patterns []string, distance int) 
 		Kind:      kind,
 		Patterns:  len(patterns),
 		Distance:  distance,
+		Engine:    eng,
 		Created:   time.Now().UTC(),
 		Automaton: a,
 	}

@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"pap"
 )
 
 // Config controls a papd server. Zero values select sensible defaults.
@@ -85,10 +87,12 @@ type Server struct {
 	started  time.Time
 
 	// Pre-created instruments on hot paths.
-	latency      map[string]*Histogram
-	poolRejected *Counter
-	streamBytes  *Counter
-	speedupHist  *Histogram
+	latency        map[string]*Histogram
+	poolRejected   *Counter
+	streamBytes    *Counter
+	speedupHist    *Histogram
+	engineSteps    [3]*Counter // indexed by pap.EngineKind
+	engineSwitches *Counter
 }
 
 // New assembles a server from the config.
@@ -113,6 +117,13 @@ func New(cfg Config) *Server {
 	s.speedupHist = m.Histogram("papd_parallel_speedup",
 		"Modelled AP speedup of parallel matches over the sequential AP baseline.",
 		"", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	for _, k := range []pap.EngineKind{pap.EngineAuto, pap.EngineSparse, pap.EngineBit} {
+		s.engineSteps[k] = m.Counter("papd_engine_steps_total",
+			"Input symbols stepped through execution engines, by configured engine.",
+			fmt.Sprintf("engine=%q", k))
+	}
+	s.engineSwitches = m.Counter("papd_engine_switches_total",
+		"Sparse-dense representation switches made by adaptive engines.", "")
 	m.GaugeFunc("papd_worker_pool_workers", "Size of the matching worker pool.", "",
 		func() float64 { return float64(s.pool.Workers()) })
 	m.GaugeFunc("papd_worker_pool_active", "Matching tasks currently executing.", "",

@@ -367,3 +367,76 @@ func TestRegisterValidation(t *testing.T) {
 		t.Fatalf("hamming match = %d %q %+v", code, body, m)
 	}
 }
+
+// TestServerEngineSelection covers the engine plumbing: ruleset defaults
+// set at registration, per-request overrides on match and stream open,
+// rejection of unknown engine names, and the per-engine metrics.
+func TestServerEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Register with a sparse default; bad engine names are rejected.
+	reg, _ := json.Marshal(registerRequest{Name: "e", Patterns: []string{"attack"}, Engine: "sparse"})
+	var auto automatonJSON
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata", reg, &auto); code != 201 || auto.Engine != "sparse" {
+		t.Fatalf("register = %d %q engine=%q", code, body, auto.Engine)
+	}
+	bad, _ := json.Marshal(registerRequest{Name: "b", Patterns: []string{"x"}, Engine: "quantum"})
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/automata", bad, nil); code != 400 {
+		t.Fatalf("bad engine register = %d, want 400", code)
+	}
+
+	// Every backend returns the same matches; the response echoes the
+	// engine, defaulting to the ruleset's.
+	payload := testInput(4096, 3, "attack")
+	var want matchResponse
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/automata/e/match", payload, &want); code != 200 || want.Engine != "sparse" {
+		t.Fatalf("default match engine = %q", want.Engine)
+	}
+	for _, eng := range []string{"auto", "bit"} {
+		var m matchResponse
+		if code, body := doJSON(t, "POST", ts.URL+"/v1/automata/e/match?engine="+eng, payload, &m); code != 200 {
+			t.Fatalf("%s match = %d %q", eng, code, body)
+		}
+		if m.Engine != eng || len(m.Matches) != len(want.Matches) {
+			t.Fatalf("%s: engine=%q matches=%d, want %d", eng, m.Engine, len(m.Matches), len(want.Matches))
+		}
+	}
+	var par matchResponse
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata/e/match?mode=parallel&engine=bit", payload, &par); code != 200 || par.AP == nil {
+		t.Fatalf("parallel bit match = %d %q", code, body)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/automata/e/match?engine=quantum", payload, nil); code != 400 {
+		t.Fatal("unknown engine accepted on match")
+	}
+
+	// Streams: ruleset default, request override, bad name rejected.
+	open, _ := json.Marshal(openStreamRequest{Automaton: "e"})
+	var sess SessionInfo
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams", open, &sess); code != 201 || sess.Engine != "sparse" {
+		t.Fatalf("stream default engine = %q", sess.Engine)
+	}
+	open, _ = json.Marshal(openStreamRequest{Automaton: "e", Engine: "bit"})
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams", open, &sess); code != 201 || sess.Engine != "bit" {
+		t.Fatalf("stream override engine = %q", sess.Engine)
+	}
+	var wr streamWriteResponse
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/"+sess.ID+"/write", payload, &wr); code != 200 {
+		t.Fatal("stream write failed")
+	}
+	open, _ = json.Marshal(openStreamRequest{Automaton: "e", Engine: "quantum"})
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams", open, nil); code != 400 {
+		t.Fatal("unknown engine accepted on stream open")
+	}
+
+	// Metrics report per-engine step counts.
+	_, metrics := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	for _, want := range []string{
+		`papd_engine_steps_total{engine="sparse"}`,
+		`papd_engine_steps_total{engine="bit"}`,
+		"papd_engine_switches_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -20,14 +20,16 @@ import (
 type Session struct {
 	ID        string
 	Automaton string
+	Engine    pap.EngineKind
 	Created   time.Time
 
-	mu       sync.Mutex
-	stream   *pap.Stream
-	lastUsed time.Time
-	matches  int64
-	writes   int64
-	closed   bool
+	mu        sync.Mutex
+	stream    *pap.Stream
+	lastUsed  time.Time
+	matches   int64
+	writes    int64
+	lastSwtch int64 // stream switch count at the previous Write, for deltas
+	closed    bool
 }
 
 // ErrSessionNotFound is returned for unknown or expired session IDs.
@@ -38,31 +40,37 @@ var ErrTooManySessions = errors.New("server: stream session limit reached")
 
 // SessionInfo is a point-in-time snapshot of a session for JSON responses.
 type SessionInfo struct {
-	ID           string    `json:"id"`
-	Automaton    string    `json:"automaton"`
-	Created      time.Time `json:"created"`
-	LastUsed     time.Time `json:"last_used"`
-	Offset       int64     `json:"offset"`
-	Writes       int64     `json:"writes"`
-	Matches      int64     `json:"matches"`
-	ActiveStates int       `json:"active_states"`
+	ID             string    `json:"id"`
+	Automaton      string    `json:"automaton"`
+	Engine         string    `json:"engine"`
+	Created        time.Time `json:"created"`
+	LastUsed       time.Time `json:"last_used"`
+	Offset         int64     `json:"offset"`
+	Writes         int64     `json:"writes"`
+	Matches        int64     `json:"matches"`
+	ActiveStates   int       `json:"active_states"`
+	EngineSwitches int64     `json:"engine_switches"`
 }
 
 // Write feeds one chunk to the session's stream and returns a copy of the
-// completed matches together with the stream offset after the write.
-func (s *Session) Write(chunk []byte) ([]pap.Match, int64, error) {
+// completed matches, the stream offset after the write, and the number of
+// adaptive engine representation switches this write caused.
+func (s *Session) Write(chunk []byte) ([]pap.Match, int64, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, 0, ErrSessionNotFound
+		return nil, 0, 0, ErrSessionNotFound
 	}
 	ms := s.stream.Write(chunk)
 	out := make([]pap.Match, len(ms))
 	copy(out, ms) // the stream reuses its slice; callers get a stable copy
 	s.matches += int64(len(ms))
 	s.writes++
+	sw := s.stream.EngineSwitches()
+	dsw := sw - s.lastSwtch
+	s.lastSwtch = sw
 	s.lastUsed = time.Now()
-	return out, s.stream.Offset(), nil
+	return out, s.stream.Offset(), dsw, nil
 }
 
 // Info snapshots the session state.
@@ -70,14 +78,16 @@ func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionInfo{
-		ID:           s.ID,
-		Automaton:    s.Automaton,
-		Created:      s.Created,
-		LastUsed:     s.lastUsed,
-		Offset:       s.stream.Offset(),
-		Writes:       s.writes,
-		Matches:      s.matches,
-		ActiveStates: s.stream.ActiveStates(),
+		ID:             s.ID,
+		Automaton:      s.Automaton,
+		Engine:         s.Engine.String(),
+		Created:        s.Created,
+		LastUsed:       s.lastUsed,
+		Offset:         s.stream.Offset(),
+		Writes:         s.writes,
+		Matches:        s.matches,
+		ActiveStates:   s.stream.ActiveStates(),
+		EngineSwitches: s.stream.EngineSwitches(),
 	}
 }
 
@@ -140,8 +150,9 @@ func (m *SessionManager) reap() {
 	}
 }
 
-// Create opens a session over the given registry entry.
-func (m *SessionManager) Create(e *Entry) (*Session, error) {
+// Create opens a session over the given registry entry, streaming on the
+// given execution backend.
+func (m *SessionManager) Create(e *Entry, eng pap.EngineKind) (*Session, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
@@ -150,8 +161,9 @@ func (m *SessionManager) Create(e *Entry) (*Session, error) {
 	s := &Session{
 		ID:        id,
 		Automaton: e.Name,
+		Engine:    eng,
 		Created:   now.UTC(),
-		stream:    e.Automaton.NewStream(),
+		stream:    e.Automaton.NewStream(pap.WithEngine(eng)),
 		lastUsed:  now,
 	}
 	m.mu.Lock()

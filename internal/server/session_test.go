@@ -3,12 +3,14 @@ package server
 import (
 	"testing"
 	"time"
+
+	"pap"
 )
 
 func testEntry(t *testing.T) *Entry {
 	t.Helper()
 	r := NewRegistry(0)
-	e, err := r.Register("t", "regex", []string{"needle"}, 0)
+	e, err := r.Register("t", "regex", []string{"needle"}, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,15 +20,15 @@ func testEntry(t *testing.T) *Entry {
 func TestSessionWriteAcrossChunks(t *testing.T) {
 	m := NewSessionManager(0, 0)
 	defer m.Stop()
-	s, err := m.Create(testEntry(t))
+	s, err := m.Create(testEntry(t), pap.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, off, err := s.Write([]byte("xxnee"))
+	ms, off, _, err := s.Write([]byte("xxnee"))
 	if err != nil || len(ms) != 0 || off != 5 {
 		t.Fatalf("first write: ms=%v off=%d err=%v", ms, off, err)
 	}
-	ms, off, err = s.Write([]byte("dlexx"))
+	ms, off, _, err = s.Write([]byte("dlexx"))
 	if err != nil || off != 10 {
 		t.Fatalf("second write: off=%d err=%v", off, err)
 	}
@@ -43,13 +45,13 @@ func TestSessionLimit(t *testing.T) {
 	m := NewSessionManager(2, 0)
 	defer m.Stop()
 	e := testEntry(t)
-	if _, err := m.Create(e); err != nil {
+	if _, err := m.Create(e, pap.EngineAuto); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create(e); err != nil {
+	if _, err := m.Create(e, pap.EngineAuto); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create(e); err != ErrTooManySessions {
+	if _, err := m.Create(e, pap.EngineAuto); err != ErrTooManySessions {
 		t.Fatalf("expected ErrTooManySessions, got %v", err)
 	}
 }
@@ -57,7 +59,7 @@ func TestSessionLimit(t *testing.T) {
 func TestSessionCloseAndGet(t *testing.T) {
 	m := NewSessionManager(0, 0)
 	defer m.Stop()
-	s, _ := m.Create(testEntry(t))
+	s, _ := m.Create(testEntry(t), pap.EngineAuto)
 	if _, err := m.Get(s.ID); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestSessionCloseAndGet(t *testing.T) {
 	if _, err := m.Get(s.ID); err != ErrSessionNotFound {
 		t.Fatalf("expected ErrSessionNotFound, got %v", err)
 	}
-	if _, _, err := s.Write([]byte("x")); err != ErrSessionNotFound {
+	if _, _, _, err := s.Write([]byte("x")); err != ErrSessionNotFound {
 		t.Fatalf("write after close: %v", err)
 	}
 	if err := m.Close(s.ID); err != ErrSessionNotFound {
@@ -80,7 +82,7 @@ func TestSessionIdleExpiry(t *testing.T) {
 	defer m.Stop()
 	c := &Counter{}
 	m.SetExpiredCounter(c)
-	s, _ := m.Create(testEntry(t))
+	s, _ := m.Create(testEntry(t), pap.EngineAuto)
 	deadline := time.After(2 * time.Second)
 	for {
 		if _, err := m.Get(s.ID); err == ErrSessionNotFound {

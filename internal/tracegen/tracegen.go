@@ -38,14 +38,16 @@ func Becchi(n *nfa.NFA, size int, cfg Config) []byte {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	e := engine.NewSparse(n)
+	e := engine.New(engine.SparseKind, n, nil)
 	allIn := n.AllInputStates()
 	out := make([]byte, size)
+	var frontier []nfa.StateID
 	for i := range out {
 		var sym byte
 		if rng.Float64() < cfg.PM {
 			// Deep traversal: extend a currently active path.
-			if q, ok := pickActive(rng, e.Frontier(), allIn); ok {
+			frontier = e.AppendFrontier(frontier[:0])
+			if q, ok := pickActive(rng, frontier, allIn); ok {
 				cls := n.Label(q)
 				sym = cls.Pick(rng.Intn(cls.Count()))
 			} else {

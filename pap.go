@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"pap/internal/anml"
 	"pap/internal/ap"
@@ -51,6 +52,57 @@ import (
 	"pap/internal/regex"
 	"pap/internal/workloads"
 )
+
+// EngineKind selects the execution backend used to run an automaton: how
+// the enabled-state frontier is represented and advanced each symbol
+// cycle. All backends are observably equivalent — same matches, same
+// statistics — and differ only in speed across frontier-density regimes.
+// See docs/ENGINES.md.
+type EngineKind int
+
+const (
+	// EngineAuto (the default) starts on the sparse frontier-list engine
+	// and adaptively switches to the dense bit-vector engine when the
+	// active-state density crosses a threshold, with hysteresis both ways.
+	EngineAuto EngineKind = iota
+	// EngineSparse forces the VASim-style frontier-list engine: cost
+	// proportional to active states; fastest on quiet inputs.
+	EngineSparse
+	// EngineBit forces the AP-faithful dense bit-vector engine: cost
+	// proportional to the automaton size; fastest on dense frontiers.
+	EngineBit
+)
+
+// String returns the parseable engine name ("auto", "sparse", "bit").
+func (k EngineKind) String() string { return k.toKind().String() }
+
+// ParseEngineKind parses an engine name: "auto" (or "adaptive", or the
+// empty string), "sparse", "bit" (or "dense").
+func ParseEngineKind(s string) (EngineKind, error) {
+	kind, err := engine.ParseKind(s)
+	if err != nil {
+		return EngineAuto, fmt.Errorf("pap: %v", err)
+	}
+	switch kind {
+	case engine.SparseKind:
+		return EngineSparse, nil
+	case engine.BitKind:
+		return EngineBit, nil
+	default:
+		return EngineAuto, nil
+	}
+}
+
+func (k EngineKind) toKind() engine.Kind {
+	switch k {
+	case EngineSparse:
+		return engine.SparseKind
+	case EngineBit:
+		return engine.BitKind
+	default:
+		return engine.Auto
+	}
+}
 
 // Rule pairs a pattern with the code its matches report.
 type Rule struct {
@@ -67,6 +119,17 @@ type Match struct {
 // Automaton is an immutable compiled ruleset.
 type Automaton struct {
 	n *nfa.NFA
+
+	// tabOnce/tab lazily build the per-symbol transition tables shared by
+	// every dense or adaptive engine run over this automaton (safe for
+	// concurrent use; sparse-only runs never pay for them).
+	tabOnce sync.Once
+	tab     *engine.Tables
+}
+
+func (a *Automaton) tables() *engine.Tables {
+	a.tabOnce.Do(func() { a.tab = engine.NewTables(a.n) })
+	return a.tab
 }
 
 // Compile builds an automaton from patterns; rule i reports code i.
@@ -211,9 +274,15 @@ func (a *Automaton) WriteDOT(w io.Writer) error { return a.n.WriteDOT(w) }
 // Match runs the automaton sequentially over input and returns all
 // matches in order. Matches at the same offset from different reporting
 // states are deduplicated per (offset, state), exactly as AP report events
-// are.
+// are. It is equivalent to MatchWith(input, EngineAuto).
 func (a *Automaton) Match(input []byte) []Match {
-	res := engine.Run(a.n, input)
+	return a.MatchWith(input, EngineAuto)
+}
+
+// MatchWith is Match on an explicitly selected execution backend. All
+// backends return identical matches; see EngineKind for the trade-offs.
+func (a *Automaton) MatchWith(input []byte, k EngineKind) []Match {
+	res := engine.RunEngine(a.n, input, k.toKind(), a.tables())
 	return toMatches(engine.DedupeReports(res.Reports))
 }
 
@@ -255,6 +324,10 @@ type Config struct {
 	// mispredicted segments). Exactness is preserved; speedup collapses on
 	// streams with dense match activity.
 	Speculate bool
+	// Engine selects the execution backend for every simulated flow
+	// (default EngineAuto). It changes simulator wall-clock time only,
+	// never matches or modelled AP cycles.
+	Engine EngineKind
 }
 
 // DefaultConfig returns the paper's operating point for a board size.
@@ -290,6 +363,7 @@ func (c Config) toCore() core.Config {
 		cfg.Workers = c.Workers
 	}
 	cfg.Speculate = c.Speculate
+	cfg.Engine = c.Engine.toKind()
 	return cfg
 }
 
@@ -311,6 +385,9 @@ type RunStats struct {
 	SwitchOverheadPct float64
 	// FalseReportRatio is emitted report events / true events (≥ 1).
 	FalseReportRatio float64
+	// EngineSwitches counts sparse⇄dense representation switches made by
+	// adaptive engines across all flows (0 for fixed backends).
+	EngineSwitches int64
 	// Verified confirms the composed matches equalled sequential matching
 	// (always true; a false value would be a library bug).
 	Verified bool
@@ -345,6 +422,7 @@ func (a *Automaton) MatchParallel(input []byte, cfg Config) (*Report, error) {
 			AvgActiveFlows:    res.AvgActiveFlows,
 			SwitchOverheadPct: res.SwitchOverheadPct,
 			FalseReportRatio:  res.ReportIncrease,
+			EngineSwitches:    res.EngineSwitches,
 			Verified:          res.Correct,
 		},
 	}, nil

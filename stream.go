@@ -19,7 +19,8 @@ import (
 //	}
 type Stream struct {
 	a      *Automaton
-	eng    *engine.Sparse
+	kind   EngineKind
+	eng    engine.Engine
 	offset int64
 	// scratch accumulates the current chunk's matches and reports
 	// accumulates its raw report events; both are reused across Write
@@ -30,11 +31,31 @@ type Stream struct {
 	emit    engine.EmitFunc
 }
 
+// StreamOption configures NewStream.
+type StreamOption func(*Stream)
+
+// WithEngine selects the stream's execution backend (default EngineAuto).
+func WithEngine(k EngineKind) StreamOption {
+	return func(s *Stream) { s.kind = k }
+}
+
 // NewStream returns a matcher positioned at input offset 0.
-func (a *Automaton) NewStream() *Stream {
-	s := &Stream{a: a, eng: engine.NewSparse(a.n)}
+func (a *Automaton) NewStream(opts ...StreamOption) *Stream {
+	s := &Stream{a: a, kind: EngineAuto}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.eng = s.newEngine()
 	s.emit = func(r engine.Report) { s.reports = append(s.reports, r) }
 	return s
+}
+
+func (s *Stream) newEngine() engine.Engine {
+	var tab *engine.Tables
+	if s.kind != EngineSparse {
+		tab = s.a.tables()
+	}
+	return engine.New(s.kind.toKind(), s.a.n, tab)
 }
 
 // Write consumes the next chunk and returns the matches it completed, in
@@ -67,9 +88,21 @@ func (s *Stream) Offset() int64 { return s.offset }
 // always-active baseline — a load indicator for monitoring.
 func (s *Stream) ActiveStates() int { return s.eng.FrontierLen() }
 
+// Engine returns the stream's configured backend.
+func (s *Stream) Engine() EngineKind { return s.kind }
+
+// EngineSwitches returns the number of sparse⇄dense representation
+// switches the backend has made (always 0 for fixed backends).
+func (s *Stream) EngineSwitches() int64 {
+	if a, ok := s.eng.(*engine.Adaptive); ok {
+		return a.Switches()
+	}
+	return 0
+}
+
 // Reset rewinds the stream to offset 0 and the start configuration.
 func (s *Stream) Reset() {
-	s.eng = engine.NewSparse(s.a.n)
+	s.eng = s.newEngine()
 	s.offset = 0
 	s.scratch = s.scratch[:0]
 }

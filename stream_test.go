@@ -128,21 +128,61 @@ func TestStreamDedupeAcrossChunkBoundary(t *testing.T) {
 	}
 }
 
-// BenchmarkStreamWrite measures the steady-state cost of Write. The report
-// and match buffers live on the Stream and are reused, so a warmed stream
-// must not allocate per call.
+// TestStreamEngineEquivalence: every backend must produce identical
+// matches over identical chunked input, and report its configured kind.
+func TestStreamEngineEquivalence(t *testing.T) {
+	a, err := Compile("s", []string{"abc", "bc+d", "x.z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := makeInput(1<<13, 29, "abc", "bccd", "xyz")
+	want := a.Match(input)
+	for _, k := range []EngineKind{EngineAuto, EngineSparse, EngineBit} {
+		s := a.NewStream(WithEngine(k))
+		if s.Engine() != k {
+			t.Fatalf("Engine() = %v, want %v", s.Engine(), k)
+		}
+		var got []Match
+		for pos := 0; pos < len(input); pos += 512 {
+			end := pos + 512
+			if end > len(input) {
+				end = len(input)
+			}
+			got = append(got, s.Write(input[pos:end])...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d matches, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v match %d: %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+		if k != EngineAuto && s.EngineSwitches() != 0 {
+			t.Fatalf("%v: fixed backend reported %d switches", k, s.EngineSwitches())
+		}
+	}
+}
+
+// BenchmarkStreamWrite measures the steady-state cost of Write on each
+// backend. The report and match buffers live on the Stream and are reused,
+// so a warmed stream must not allocate per call, whatever the engine.
 func BenchmarkStreamWrite(b *testing.B) {
 	a, err := Compile("bench", []string{"attack", "GET /admin", `[0-9][0-9][0-9]-[0-9]`})
 	if err != nil {
 		b.Fatal(err)
 	}
 	input := makeInput(1<<12, 11, "attack", "GET /admin")
-	s := a.NewStream()
-	s.Write(input) // warm the buffers
-	b.SetBytes(int64(len(input)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Write(input)
+	for _, k := range []EngineKind{EngineAuto, EngineSparse, EngineBit} {
+		b.Run(k.String(), func(b *testing.B) {
+			s := a.NewStream(WithEngine(k))
+			s.Write(input) // warm the buffers (and any lazy match tables)
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Write(input)
+			}
+		})
 	}
 }
