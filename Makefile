@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench experiments report serve clean
+# Coverage gate: `make cover` fails below this floor. Raise it when coverage
+# durably improves; don't lower it casually.
+COVER_MIN ?= 85.0
+
+.PHONY: all build test vet race fuzz bench experiments report serve clean \
+	conformance cover
 
 all: build vet test
 
@@ -18,11 +23,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over the two fuzz targets (regex-vs-stdlib and
-# end-to-end PAP equivalence).
+# Short fuzz passes over the three fuzz targets (engine agreement,
+# regex-vs-stdlib, and end-to-end PAP equivalence).
 fuzz:
+	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzCompileAgainstStdlib -fuzztime 30s ./internal/regex/
 	$(GO) test -run xxx -fuzz FuzzParallelEquivalence -fuzztime 30s ./internal/core/
+
+# Differential conformance sweep against the reference oracle (see
+# docs/TESTING.md); `go test ./internal/conformance` runs a smaller one.
+conformance:
+	$(GO) run ./cmd/papconform -cases 20000
+
+# Coverage with a regression gate: fails if total statement coverage drops
+# below COVER_MIN.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{sub(/%/,"",$$3); print $$3}'); \
+	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
+		printf "coverage %.1f%% (gate %.1f%%)\n", t, min }'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -40,5 +60,5 @@ serve:
 	./bin/papd
 
 clean:
-	rm -f report.html test_output.txt bench_output.txt
+	rm -f report.html test_output.txt bench_output.txt cover.out
 	rm -rf bin

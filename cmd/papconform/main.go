@@ -1,0 +1,85 @@
+// Command papconform runs the conformance sweep: randomized automata and
+// adversarial inputs checked against the reference oracle across every
+// execution path of the library (sequential runs on all engines, boundary
+// and segment-resume runs, chunked streaming, and the PAP parallelization
+// under its ablation toggles). It is the CLI twin of the
+// internal/conformance test suite, for long soak runs and CI jobs.
+//
+// Usage:
+//
+//	papconform                          # 10,000 cases, seed 1
+//	papconform -cases 500000 -seed 7    # nightly-scale sweep
+//	papconform -case -123456789         # replay one failing case by seed
+//
+// Exit status is 0 when every invariant holds, 1 otherwise; each failure
+// prints a shrunk NFA + input and a one-line `go test` repro.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pap/internal/conformance"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("papconform", flag.ContinueOnError)
+	var (
+		cases    = fs.Int("cases", 10000, "number of generated cases")
+		seed     = fs.Int64("seed", 1, "base sweep seed")
+		caseSeed = fs.Int64("case", 0, "replay exactly one case by its seed and exit")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		maxFail  = fs.Int("maxfail", 10, "stop after this many failures")
+		noShrink = fs.Bool("noshrink", false, "skip minimisation of failing cases")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *caseSeed != 0 {
+		f, err := conformance.RunOne(*caseSeed, !*noShrink)
+		if err != nil {
+			fmt.Fprintln(out, "papconform:", err)
+			return 1
+		}
+		if f != nil {
+			fmt.Fprintf(out, "case %d FAILED:\n%s\n", f.Seed, f)
+			return 1
+		}
+		fmt.Fprintf(out, "case %d ok\n", *caseSeed)
+		return 0
+	}
+
+	start := time.Now()
+	opts := conformance.Options{
+		Seed:        *seed,
+		Cases:       *cases,
+		Workers:     *workers,
+		MaxFailures: *maxFail,
+		NoShrink:    *noShrink,
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(out, "papconform: %d/%d cases (%.1fs)\n",
+				done, total, time.Since(start).Seconds())
+		}
+	}
+	sum := conformance.Run(opts)
+	for i := range sum.Failures {
+		fmt.Fprintf(out, "case %d FAILED:\n%s\n", sum.Failures[i].Seed, &sum.Failures[i])
+	}
+	fmt.Fprintf(out, "papconform: %d cases, %d failures, seed %d, %v\n",
+		sum.Cases, len(sum.Failures), *seed, time.Since(start).Round(time.Millisecond))
+	if len(sum.Failures) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pap/internal/conformance"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-cases", "50", "-q"}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "50 cases, 0 failures") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestRunReplaySingleCase(t *testing.T) {
+	var out strings.Builder
+	seed := conformance.CaseSeed(1, 3)
+	if code := run([]string{"-case", strconv.FormatInt(seed, 10)}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,60 @@
+package conformance
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+var (
+	flagSeed = flag.Int64("conformance.seed", 1,
+		"base seed of the conformance sweep")
+	flagCases = flag.Int("conformance.cases", 0,
+		"number of generated cases (0 = 1000 in -short mode, 2000 otherwise)")
+	flagCase = flag.Int64("conformance.case", 0,
+		"replay exactly one case by its seed (as printed in a failure report)")
+)
+
+// TestConformance is the randomized metamorphic sweep: every generated
+// (automaton, input) case must satisfy every invariant — oracle ≡
+// sequential Run ≡ boundary/segment-resume runs for k ∈ {2,3,7,16} ≡ all
+// three engines ≡ chunked streaming ≡ the PAP parallelization under its
+// ablation toggles. A failure prints a shrunk NFA + input and a one-line
+// repro seed.
+//
+// Replay one case:   go test ./internal/conformance -run TestConformance -conformance.case=SEED
+// Bigger sweep:      go test ./internal/conformance -run TestConformance -conformance.cases=50000
+func TestConformance(t *testing.T) {
+	if *flagCase != 0 {
+		f, err := RunOne(*flagCase, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil {
+			t.Fatalf("case %d:\n%s", f.Seed, f)
+		}
+		return
+	}
+	cases := *flagCases
+	if cases == 0 {
+		cases = 2000
+		if testing.Short() {
+			cases = 1000
+		}
+	}
+	start := time.Now()
+	sum := Run(Options{
+		Seed:  *flagSeed,
+		Cases: cases,
+		Progress: func(done, total int) {
+			t.Logf("conformance: %d/%d cases (%.1fs)", done, total, time.Since(start).Seconds())
+		},
+	})
+	for i := range sum.Failures {
+		t.Errorf("case %d:\n%s", sum.Failures[i].Seed, &sum.Failures[i])
+	}
+	if sum.Cases < cases && len(sum.Failures) == 0 {
+		t.Errorf("sweep stopped after %d/%d cases without failures", sum.Cases, cases)
+	}
+	t.Logf("conformance: %d cases, %d failures in %v", sum.Cases, len(sum.Failures), time.Since(start))
+}

@@ -1,0 +1,299 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pap/internal/core"
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// segmentCounts are the parallel segment counts every case is checked
+// under (the segment-count-invariance property: results must not depend on
+// how the input is cut).
+var segmentCounts = []int{2, 3, 7, 16}
+
+// engineKinds are the execution backends every case is checked on.
+var engineKinds = []engine.Kind{engine.SparseKind, engine.BitKind, engine.Auto}
+
+// Case is one generated conformance check: a random automaton and an
+// adversarial input, fully determined by Seed.
+type Case struct {
+	Seed  int64
+	Spec  *NFASpec
+	NFA   *nfa.NFA
+	Input []byte
+}
+
+// NewCase deterministically generates the case for a seed.
+func NewCase(seed int64) (*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	spec := RandomSpec(rng)
+	n, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Case{Seed: seed, Spec: spec, NFA: n, Input: RandomInput(rng, spec)}, nil
+}
+
+// CheckCase runs every invariant on the case and returns the first
+// violation, or "" if all hold. The checks themselves are deterministic
+// functions of the case seed (chunk splits and config toggles are drawn
+// from a sub-generator seeded by it).
+func CheckCase(c *Case) (invariant, detail string) {
+	oracle := OracleRun(c.NFA, c.Input)
+	sub := rand.New(rand.NewSource(c.Seed ^ 0x5eedc0de))
+	if inv, d := checkEngineRuns(c, oracle); inv != "" {
+		return inv, d
+	}
+	if inv, d := checkSegmented(c, oracle); inv != "" {
+		return inv, d
+	}
+	if inv, d := checkChunkedStream(c, oracle, sub); inv != "" {
+		return inv, d
+	}
+	if inv, d := checkParallel(c, oracle, sub); inv != "" {
+		return inv, d
+	}
+	return "", ""
+}
+
+// checkEngineRuns asserts oracle ≡ sequential Run on every backend, plus
+// cross-engine agreement on the final frontier, fingerprint and transition
+// count (stepwise agreement is the engine package's own property test; the
+// end-state check here catches divergence on generated shapes cheaply).
+func checkEngineRuns(c *Case, oracle []engine.Report) (string, string) {
+	tab := engine.NewTables(c.NFA)
+	for _, kind := range engineKinds {
+		res := engine.RunEngine(c.NFA, c.Input, kind, tab)
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return "oracle-vs-run/" + kind.String(), d
+		}
+	}
+	o := NewOracle(c.NFA)
+	engines := make([]engine.Engine, len(engineKinds))
+	for i, kind := range engineKinds {
+		engines[i] = engine.New(kind, c.NFA, tab)
+	}
+	for i, sym := range c.Input {
+		o.Step(sym, nil)
+		for _, e := range engines {
+			e.Step(sym, int64(i), nil)
+		}
+	}
+	want := o.Enabled()
+	for i, e := range engines {
+		got := sortedIDs(e.AppendFrontier(nil))
+		if !equalIDs(want, got) {
+			return "oracle-vs-frontier/" + engineKinds[i].String(),
+				fmt.Sprintf("final frontier %v, oracle %v", got, want)
+		}
+		if e.Fingerprint() != engines[0].Fingerprint() {
+			return "engine-fingerprint/" + engineKinds[i].String(),
+				fmt.Sprintf("fingerprint %#x, %s %#x",
+					e.Fingerprint(), engineKinds[0], engines[0].Fingerprint())
+		}
+		if e.Transitions() != engines[0].Transitions() {
+			return "engine-transitions/" + engineKinds[i].String(),
+				fmt.Sprintf("transitions %d, %s %d",
+					e.Transitions(), engineKinds[0], engines[0].Transitions())
+		}
+	}
+	return "", ""
+}
+
+// cutsFor returns the equal-division cut positions for k segments, clipped
+// to valid strictly-increasing positions inside (0, len).
+func cutsFor(inputLen, k int) []int {
+	var cuts []int
+	for j := 1; j < k; j++ {
+		p := j * inputLen / k
+		if p <= 0 || p >= inputLen {
+			continue
+		}
+		if len(cuts) > 0 && cuts[len(cuts)-1] >= p {
+			continue
+		}
+		cuts = append(cuts, p)
+	}
+	return cuts
+}
+
+// checkSegmented asserts, for every segment count k: the boundary-recording
+// run reproduces the oracle's reports; each recorded boundary frontier
+// equals the oracle's enabled set at that cut; and k independent engines,
+// each re-seeded from the previous boundary's frontier, together reproduce
+// exactly the oracle's reports (segment-count invariance). Backends rotate
+// with k so every kind serves both roles.
+func checkSegmented(c *Case, oracle []engine.Report) (string, string) {
+	tab := engine.NewTables(c.NFA)
+	for ki, k := range segmentCounts {
+		kind := engineKinds[ki%len(engineKinds)]
+		cuts := cutsFor(len(c.Input), k)
+		res, bounds := engine.RunWithBoundariesEngine(c.NFA, c.Input, cuts, kind, tab)
+		name := fmt.Sprintf("boundaries-k%d/%s", k, kind)
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return name, d
+		}
+		if len(bounds) != len(cuts) {
+			return name, fmt.Sprintf("%d boundaries for %d cuts", len(bounds), len(cuts))
+		}
+		_, fronts := OracleRunCuts(c.NFA, c.Input, cuts)
+		for i, b := range bounds {
+			if !equalIDs(fronts[i], b.Enabled) {
+				return name, fmt.Sprintf("boundary %d (pos %d): enabled %v, oracle %v",
+					i, b.Pos, b.Enabled, fronts[i])
+			}
+		}
+		// Segment resume: segment 0 runs from the start configuration; each
+		// later segment runs on a fresh engine seeded with the previous
+		// boundary's enabled set. The union must be exactly the oracle set.
+		var union []engine.Report
+		emit := func(r engine.Report) { union = append(union, r) }
+		for i := 0; i <= len(cuts); i++ {
+			start, end := 0, len(c.Input)
+			if i > 0 {
+				start = cuts[i-1]
+			}
+			if i < len(cuts) {
+				end = cuts[i]
+			}
+			e := engine.New(kind, c.NFA, tab)
+			if i > 0 {
+				e.Reset(bounds[i-1].Enabled)
+			}
+			for p := start; p < end; p++ {
+				e.Step(c.Input[p], int64(p), emit)
+			}
+		}
+		if d := diffReports(oracle, union); d != "" {
+			return fmt.Sprintf("segment-resume-k%d/%s", k, kind), d
+		}
+	}
+	return "", ""
+}
+
+// checkChunkedStream asserts that feeding the input through an engine in
+// randomly split chunks — deduplicating per chunk, exactly as Stream.Write
+// does — yields the oracle's report set on every backend.
+func checkChunkedStream(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	tab := engine.NewTables(c.NFA)
+	for _, kind := range engineKinds {
+		e := engine.New(kind, c.NFA, tab)
+		var all, chunk []engine.Report
+		emit := func(r engine.Report) { chunk = append(chunk, r) }
+		pos := 0
+		for pos < len(c.Input) {
+			n := 1 + rng.Intn(32)
+			if pos+n > len(c.Input) {
+				n = len(c.Input) - pos
+			}
+			chunk = chunk[:0]
+			for _, sym := range c.Input[pos : pos+n] {
+				e.Step(sym, int64(pos), emit)
+				pos++
+			}
+			all = append(all, engine.DedupeReports(chunk)...)
+		}
+		if d := diffReports(oracle, all); d != "" {
+			return "stream-chunks/" + kind.String(), d
+		}
+	}
+	return "", ""
+}
+
+// checkParallel asserts oracle ≡ the full PAP parallelization, under a
+// default configuration and under a toggled one (CC-merge, parent-merge,
+// convergence, deactivation, FIV and speculation flipped pseudo-randomly),
+// across rotating backends, segment caps and TDM quanta.
+func checkParallel(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", parallelConfig(rng, false)},
+		{"toggled", parallelConfig(rng, true)},
+	}
+	for _, tc := range configs {
+		res, err := core.Run(c.NFA, c.Input, tc.cfg)
+		if err != nil {
+			return "parallel-" + tc.name, fmt.Sprintf("core.Run: %v (cfg %+v)", err, tc.cfg)
+		}
+		if err := res.CheckCorrect(); err != nil {
+			return "parallel-" + tc.name, fmt.Sprintf("%v (cfg %+v)", err, tc.cfg)
+		}
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return "parallel-" + tc.name, d + fmt.Sprintf(" (cfg %+v)", tc.cfg)
+		}
+	}
+	return "", ""
+}
+
+// parallelConfig draws a PAP configuration from rng. With toggled set, the
+// ablation switches are flipped pseudo-randomly (always at least one).
+func parallelConfig(rng *rand.Rand, toggled bool) core.Config {
+	cfg := core.DefaultConfig(1)
+	cfg.Workers = 1 + rng.Intn(2)
+	cfg.MaxSegments = 2 + rng.Intn(7)
+	cfg.TDMQuantum = []int{4, 8, 16}[rng.Intn(3)]
+	cfg.ConvergenceEvery = 1 + rng.Intn(4)
+	cfg.Engine = engineKinds[rng.Intn(len(engineKinds))]
+	if toggled {
+		cfg.DisableCCMerge = rng.Intn(2) == 0
+		cfg.DisableParentMerge = rng.Intn(2) == 0
+		cfg.DisableConvergence = rng.Intn(2) == 0
+		cfg.DisableDeactivation = rng.Intn(2) == 0
+		cfg.DisableFIV = rng.Intn(2) == 0
+		cfg.AbsorbDeactivation = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			cfg.Speculate = true
+		}
+		if !(cfg.DisableCCMerge || cfg.DisableParentMerge || cfg.DisableConvergence ||
+			cfg.DisableDeactivation || cfg.DisableFIV || cfg.Speculate) {
+			cfg.DisableConvergence = true
+		}
+	}
+	return cfg
+}
+
+// diffReports returns "" when got (after dedup) equals the canonical want
+// set, else a compact description of the first divergence.
+func diffReports(want, got []engine.Report) string {
+	g := engine.DedupeReports(append([]engine.Report(nil), got...))
+	for i := 0; i < len(want) || i < len(g); i++ {
+		switch {
+		case i >= len(want):
+			return fmt.Sprintf("%d reports, want %d; first extra (off %d, state %d)",
+				len(g), len(want), g[i].Offset, g[i].State)
+		case i >= len(g):
+			return fmt.Sprintf("%d reports, want %d; first missing (off %d, state %d)",
+				len(g), len(want), want[i].Offset, want[i].State)
+		case want[i].Offset != g[i].Offset || want[i].State != g[i].State || want[i].Code != g[i].Code:
+			return fmt.Sprintf("report %d = (off %d, state %d, code %d), want (off %d, state %d, code %d)",
+				i, g[i].Offset, g[i].State, g[i].Code, want[i].Offset, want[i].State, want[i].Code)
+		}
+	}
+	return ""
+}
+
+func sortedIDs(ids []nfa.StateID) []nfa.StateID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []nfa.StateID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+// Package conformance is the repository's differential-testing subsystem:
+// a deliberately naive reference oracle, seeded generators for random
+// homogeneous NFAs and adversarial inputs, and a metamorphic invariant
+// harness asserting that every execution path of the library — sequential
+// runs on all three engines, boundary-recording runs, independently
+// re-seeded segment runs for several segment counts, chunked streaming, and
+// the full PAP parallelization under its ablation toggles — produces
+// exactly the oracle's report set.
+//
+// The design follows the standard practice for keeping parallel matchers
+// honest: PaREM validates parallel DFA runs against sequential matching,
+// and the Simultaneous Finite Automata work proves segment-count invariance
+// as its core correctness property. Here both are enforced mechanically
+// over randomized cases, and failures shrink to a minimal NFA + input with
+// a one-line replayable seed.
+//
+// Entry points: Run (the sweep), CheckCase (one case), NewCase
+// (deterministic generation from a seed). See docs/TESTING.md.
+package conformance
+
+import (
+	"sort"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+)
+
+// Oracle executes an NFA by direct per-symbol simulation over plain maps:
+// no match tables, no frontier lists, no merging, no speculation, nothing
+// shared with the production engines beyond the NFA accessors. It exists to
+// be obviously correct, not fast.
+//
+// Semantics (the AP symbol cycle): at step t every enabled state whose
+// label matches input[t] fires — reporting if it is a reporting state and
+// enabling its successors for step t+1. Start-of-data states are enabled at
+// step 0 only; all-input states are enabled at every step.
+type Oracle struct {
+	n *nfa.NFA
+	// enabled is the next step's enabled set, excluding all-input states
+	// (they are added at every step when the oracle fires states).
+	enabled map[nfa.StateID]bool
+	off     int64
+}
+
+// NewOracle returns an oracle at the automaton's start configuration.
+func NewOracle(n *nfa.NFA) *Oracle {
+	o := &Oracle{n: n, enabled: make(map[nfa.StateID]bool)}
+	for _, q := range n.StartStates() {
+		o.enabled[q] = true
+	}
+	return o
+}
+
+// Reset replaces the enabled set (all-input states are implicit and may be
+// included or not; they are ignored) and rewinds nothing else.
+func (o *Oracle) Reset(seed []nfa.StateID) {
+	o.enabled = make(map[nfa.StateID]bool)
+	for _, q := range seed {
+		o.enabled[q] = true
+	}
+}
+
+// Step consumes one symbol, appending any report events to dst.
+func (o *Oracle) Step(sym byte, dst []engine.Report) []engine.Report {
+	next := make(map[nfa.StateID]bool)
+	fire := func(q nfa.StateID) {
+		st := o.n.State(q)
+		if !st.Label.Test(sym) {
+			return
+		}
+		if st.Flags&nfa.Report != 0 {
+			dst = append(dst, engine.Report{Offset: o.off, State: q, Code: st.ReportCode})
+		}
+		for _, c := range o.n.Succ(q) {
+			next[c] = true
+		}
+	}
+	for q := range o.enabled {
+		fire(q)
+	}
+	seen := o.enabled
+	for _, q := range o.n.AllInputStates() {
+		if !seen[q] { // don't fire a state twice in one step
+			fire(q)
+		}
+	}
+	o.enabled = next
+	o.off++
+	return dst
+}
+
+// Enabled returns the currently enabled states excluding all-input states,
+// sorted ascending — the canonical frontier the engines must agree with.
+func (o *Oracle) Enabled() []nfa.StateID {
+	isAll := make(map[nfa.StateID]bool)
+	for _, q := range o.n.AllInputStates() {
+		isAll[q] = true
+	}
+	var out []nfa.StateID
+	for q := range o.enabled {
+		if !isAll[q] {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OracleRun simulates the whole input and returns the canonical
+// (offset, state)-deduplicated, sorted report set.
+func OracleRun(n *nfa.NFA, input []byte) []engine.Report {
+	rs, _ := OracleRunCuts(n, input, nil)
+	return rs
+}
+
+// OracleRunCuts is OracleRun, additionally recording the enabled set
+// (excluding all-input states, sorted) at each cut position. cuts must be
+// strictly increasing, in (0, len(input)].
+func OracleRunCuts(n *nfa.NFA, input []byte, cuts []int) ([]engine.Report, [][]nfa.StateID) {
+	o := NewOracle(n)
+	var rs []engine.Report
+	fronts := make([][]nfa.StateID, 0, len(cuts))
+	ci := 0
+	for i := range input {
+		rs = o.Step(input[i], rs)
+		if ci < len(cuts) && cuts[ci] == i+1 {
+			fronts = append(fronts, o.Enabled())
+			ci++
+		}
+	}
+	return engine.DedupeReports(rs), fronts
+}

@@ -1,0 +1,138 @@
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options configures one conformance sweep.
+type Options struct {
+	// Seed is the sweep's base seed; case i runs with seed CaseSeed(Seed, i),
+	// so any failing case replays independently of case count and ordering.
+	Seed int64
+	// Cases is the number of generated cases to run.
+	Cases int
+	// Workers bounds the goroutines running cases (0 = GOMAXPROCS). Case
+	// seeds do not depend on scheduling, so results are deterministic.
+	Workers int
+	// MaxFailures stops the sweep early after this many failures (0 = 10).
+	MaxFailures int
+	// NoShrink skips minimisation of failing cases (useful when a caller
+	// only needs the seed, e.g. the CLI's -quick mode).
+	NoShrink bool
+	// Progress, when non-nil, receives a line every few thousand cases.
+	Progress func(done, total int)
+}
+
+// Failure describes one violated invariant, minimised and replayable.
+type Failure struct {
+	Seed      int64  // case seed: replay with -conformance.case=<Seed>
+	Invariant string // which equivalence broke, e.g. "segment-resume-k7/bit"
+	Detail    string // first divergence, compactly
+	Spec      *NFASpec
+	Input     []byte
+}
+
+// Repro returns the one-line command that replays exactly this case.
+func (f *Failure) Repro() string {
+	return fmt.Sprintf("go test ./internal/conformance -run TestConformance -conformance.case=%d", f.Seed)
+}
+
+// String renders the failure as the canonical multi-line report.
+func (f *Failure) String() string {
+	return fmt.Sprintf("invariant %s violated: %s\n  shrunk automaton: %s\n  shrunk input (%d bytes): %q\n  repro: %s",
+		f.Invariant, f.Detail, f.Spec, len(f.Input), f.Input, f.Repro())
+}
+
+// Summary is the outcome of one sweep.
+type Summary struct {
+	Cases    int
+	Failures []Failure
+}
+
+// CaseSeed derives the seed of case i in a sweep (splitmix64 over the base
+// seed, so neighbouring sweeps share no cases).
+func CaseSeed(base int64, i int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(i) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunOne generates and checks the single case for a seed, shrinking on
+// failure. It returns nil when every invariant holds.
+func RunOne(seed int64, shrink bool) (*Failure, error) {
+	c, err := NewCase(seed)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: case %d failed to generate: %v", seed, err)
+	}
+	inv, detail := CheckCase(c)
+	if inv == "" {
+		return nil, nil
+	}
+	f := &Failure{Seed: seed, Invariant: inv, Detail: detail, Spec: c.Spec, Input: c.Input}
+	if shrink {
+		f.Spec, f.Input, f.Invariant, f.Detail = shrinkFailure(c)
+	}
+	return f, nil
+}
+
+// Run executes a sweep of generated cases and returns its summary. Case
+// generation errors are reported as failures of a pseudo-invariant
+// "generate" (they indicate a generator bug, not a library bug).
+func Run(opts Options) Summary {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxFail := opts.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 10
+	}
+
+	var (
+		mu       sync.Mutex
+		failures []Failure
+		done     int
+		wg       sync.WaitGroup
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f, err := RunOne(CaseSeed(opts.Seed, i), !opts.NoShrink)
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, Failure{
+						Seed:      CaseSeed(opts.Seed, i),
+						Invariant: "generate",
+						Detail:    err.Error(),
+						Spec:      &NFASpec{},
+					})
+				} else if f != nil {
+					failures = append(failures, *f)
+				}
+				done++
+				if opts.Progress != nil && done%5000 == 0 {
+					opts.Progress(done, opts.Cases)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.Cases; i++ {
+		mu.Lock()
+		stop := len(failures) >= maxFail
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return Summary{Cases: done, Failures: failures}
+}

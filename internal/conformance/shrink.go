@@ -1,0 +1,132 @@
+package conformance
+
+import "pap/internal/nfa"
+
+// shrinkBudget bounds the number of predicate evaluations one shrink is
+// allowed; each evaluation re-runs the full invariant suite on a candidate,
+// so the cap keeps failure handling fast even on stubborn cases.
+const shrinkBudget = 1500
+
+// Shrink minimises a failing (spec, input) pair: it greedily removes input
+// bytes, states, edges, label symbols and flags while the fails predicate
+// keeps returning true, and returns the smallest still-failing pair. The
+// predicate receives candidates that may be degenerate (it must return
+// false for specs that no longer build). Shrinking is deterministic.
+func Shrink(spec *NFASpec, input []byte, fails func(*NFASpec, []byte) bool) (*NFASpec, []byte) {
+	budget := shrinkBudget
+	try := func(s *NFASpec, in []byte) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(s, in)
+	}
+
+	// Pass 1: input reduction, ddmin-style — remove chunks of halving size.
+	for chunk := len(input) / 2; chunk >= 1; chunk /= 2 {
+		for pos := 0; pos+chunk <= len(input); {
+			cand := append(append([]byte(nil), input[:pos]...), input[pos+chunk:]...)
+			if try(spec, cand) {
+				input = cand
+			} else {
+				pos += chunk
+			}
+		}
+	}
+
+	// Pass 2/3/4: structural reduction, repeated to a fixpoint (removing a
+	// state can make an edge removable and vice versa).
+	for changed := true; changed && budget > 0; {
+		changed = false
+		// Remove states (highest first, so indices shift predictably).
+		for q := len(spec.States) - 1; q >= 0; q-- {
+			cand := spec.clone()
+			cand.States = append(cand.States[:q], cand.States[q+1:]...)
+			var edges [][2]int32
+			for _, e := range cand.Edges {
+				if int(e[0]) == q || int(e[1]) == q {
+					continue
+				}
+				if int(e[0]) > q {
+					e[0]--
+				}
+				if int(e[1]) > q {
+					e[1]--
+				}
+				edges = append(edges, e)
+			}
+			cand.Edges = edges
+			if try(cand, input) {
+				spec = cand
+				changed = true
+			}
+		}
+		// Remove edges.
+		for i := len(spec.Edges) - 1; i >= 0; i-- {
+			cand := spec.clone()
+			cand.Edges = append(cand.Edges[:i], cand.Edges[i+1:]...)
+			if try(cand, input) {
+				spec = cand
+				changed = true
+			}
+		}
+		// Simplify states: drop label symbols and non-essential flags.
+		for q := range spec.States {
+			for len(spec.States[q].Syms) > 1 {
+				cand := spec.clone()
+				cand.States[q].Syms = cand.States[q].Syms[1:]
+				if !try(cand, input) {
+					break
+				}
+				spec = cand
+				changed = true
+			}
+			for _, f := range []nfa.Flags{nfa.AllInput, nfa.Report} {
+				if spec.States[q].Flags&f == 0 {
+					continue
+				}
+				cand := spec.clone()
+				cand.States[q].Flags &^= f
+				if try(cand, input) {
+					spec = cand
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final input polish: single-byte removals enabled by structural shrink.
+	for pos := 0; pos < len(input); {
+		cand := append(append([]byte(nil), input[:pos]...), input[pos+1:]...)
+		if try(spec, cand) {
+			input = cand
+		} else {
+			pos++
+		}
+	}
+	return spec, input
+}
+
+// shrinkFailure reduces a failing case and re-derives the invariant that
+// fails on the minimal pair (structural shrinking may shift which check
+// trips first; the minimal reproduction is what matters for debugging).
+func shrinkFailure(c *Case) (spec *NFASpec, input []byte, invariant, detail string) {
+	fails := func(s *NFASpec, in []byte) bool {
+		n, err := s.Build()
+		if err != nil {
+			return false
+		}
+		inv, _ := CheckCase(&Case{Seed: c.Seed, Spec: s, NFA: n, Input: in})
+		return inv != ""
+	}
+	spec, input = Shrink(c.Spec, c.Input, fails)
+	n, err := spec.Build()
+	if err != nil {
+		// Cannot happen: Shrink only keeps building candidates. Fall back to
+		// the original case.
+		spec, input = c.Spec, c.Input
+		n = c.NFA
+	}
+	invariant, detail = CheckCase(&Case{Seed: c.Seed, Spec: spec, NFA: n, Input: input})
+	return spec, input, invariant, detail
+}

@@ -10,20 +10,20 @@ import (
 
 // SegmentStats is the exported per-segment view of one PAP execution.
 type SegmentStats struct {
-	Index         int
-	Start, End    int
-	BoundarySym   byte
-	InitFlows     int
-	Rounds        int
-	AvgFlows      float64
-	Deactivations int
-	Convergences  int
-	FIVKills      int
-	FIVApplied    bool
-	Cycles        ap.Cycles
-	SwitchCycles  ap.Cycles
-	HostCycles    ap.Cycles
-	KnownAt       ap.Cycles
+	Index          int
+	Start, End     int
+	BoundarySym    byte
+	InitFlows      int
+	Rounds         int
+	AvgFlows       float64
+	Deactivations  int
+	Convergences   int
+	FIVKills       int
+	FIVApplied     bool
+	Cycles         ap.Cycles
+	SwitchCycles   ap.Cycles
+	HostCycles     ap.Cycles
+	KnownAt        ap.Cycles
 	Events         int64
 	Transitions    int64
 	EngineSwitches int64     // adaptive-backend representation switches
@@ -329,17 +329,17 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 	hostSamples := 0
 	for _, seg := range segs {
 		res.Segments = append(res.Segments, SegmentStats{
-			Index:         seg.Index,
-			Start:         seg.Start,
-			End:           seg.End,
-			BoundarySym:   seg.Sym,
-			InitFlows:     seg.InitFlows,
-			Rounds:        seg.Rounds,
-			AvgFlows:      safeDiv(float64(seg.FlowRounds), float64(seg.Rounds)),
-			Deactivations: seg.Deactivations,
-			Convergences:  seg.Convergences,
-			FIVKills:      seg.FIVKills,
-			FIVApplied:    seg.FIVApplied,
+			Index:          seg.Index,
+			Start:          seg.Start,
+			End:            seg.End,
+			BoundarySym:    seg.Sym,
+			InitFlows:      seg.InitFlows,
+			Rounds:         seg.Rounds,
+			AvgFlows:       safeDiv(float64(seg.FlowRounds), float64(seg.Rounds)),
+			Deactivations:  seg.Deactivations,
+			Convergences:   seg.Convergences,
+			FIVKills:       seg.FIVKills,
+			FIVApplied:     seg.FIVApplied,
 			Cycles:         seg.Cycles,
 			SwitchCycles:   seg.SwitchCycles,
 			HostCycles:     seg.HostCycles,
