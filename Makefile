@@ -6,8 +6,8 @@ GO ?= go
 # durably improves; don't lower it casually.
 COVER_MIN ?= 85.0
 
-.PHONY: all build test vet race fuzz bench experiments report serve clean \
-	conformance cover
+.PHONY: all build test vet race fuzz bench bench-segments experiments \
+	report serve clean conformance cover
 
 all: build vet test
 
@@ -46,6 +46,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serial vs parallel cross-segment scheduler comparison (the numbers behind
+# BENCH_segments.json; the parallel win scales with real cores).
+bench-segments:
+	$(GO) test -run xxx -bench BenchmarkExecuteSegments -benchmem -count 3 ./internal/core/
 
 # Regenerate every table and figure at the default reduced scale.
 experiments:

@@ -1,8 +1,10 @@
 // Command papconform runs the conformance sweep: randomized automata and
 // adversarial inputs checked against the reference oracle across every
 // execution path of the library (sequential runs on all engines, boundary
-// and segment-resume runs, chunked streaming, and the PAP parallelization
-// under its ablation toggles). It is the CLI twin of the
+// and segment-resume runs, chunked streaming, the PAP parallelization
+// under its ablation toggles, and serial-vs-parallel cross-segment
+// scheduler parity down to bit-identical modelled cycle metrics). It is
+// the CLI twin of the
 // internal/conformance test suite, for long soak runs and CI jobs.
 //
 // Usage:

@@ -94,6 +94,7 @@ func main() {
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request payload bytes")
 		drainWait  = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
 		engine     = flag.String("engine", "auto", "default execution backend for preloaded rulesets: auto, sparse or bit")
+		serialSegs = flag.Bool("serial-segments", false, "default parallel-mode matches to the serial cross-segment scheduler")
 		preloads   preloadFlag
 	)
 	flag.Var(&preloads, "preload", "register a ruleset at startup: name=patterns.txt (repeatable)")
@@ -106,6 +107,7 @@ func main() {
 		MatchTimeout:      *timeout,
 		StreamIdleTimeout: *streamIdle,
 		MaxBodyBytes:      *maxBody,
+		SerialSegments:    *serialSegs,
 	})
 	if err := preload(s, preloads.specs, *engine); err != nil {
 		log.Fatal(err)

@@ -57,6 +57,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 	if inv, d := checkParallel(c, oracle, sub); inv != "" {
 		return inv, d
 	}
+	if inv, d := checkSchedulerParity(c, oracle, sub); inv != "" {
+		return inv, d
+	}
 	return "", ""
 }
 
@@ -232,6 +235,88 @@ func checkParallel(c *Case, oracle []engine.Report, rng *rand.Rand) (string, str
 		}
 	}
 	return "", ""
+}
+
+// checkSchedulerParity asserts the cross-segment parallel scheduler is
+// observationally identical to the serial one: same reports as the oracle,
+// and every modelled metric — whole-run and per-segment — bit-identical.
+// (Only EngineSwitches is exempt: which pool worker, and thus which
+// adaptive engine instance with its hysteresis state, picks up each flow
+// round is wall-clock-scheduling-dependent by design.)
+func checkSchedulerParity(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	for _, toggled := range []bool{false, true} {
+		cfg := parallelConfig(rng, toggled)
+		ser := cfg
+		ser.SegmentParallel = false
+		par := cfg
+		par.SegmentParallel = true
+		name := "scheduler-parity-default"
+		if toggled {
+			name = "scheduler-parity-toggled"
+		}
+		rs, err := core.Run(c.NFA, c.Input, ser)
+		if err != nil {
+			return name, fmt.Sprintf("serial core.Run: %v (cfg %+v)", err, ser)
+		}
+		rp, err := core.Run(c.NFA, c.Input, par)
+		if err != nil {
+			return name, fmt.Sprintf("parallel core.Run: %v (cfg %+v)", err, par)
+		}
+		if d := diffReports(oracle, rp.Reports); d != "" {
+			return name, "parallel vs oracle: " + d + fmt.Sprintf(" (cfg %+v)", par)
+		}
+		if d := diffResultMetrics(rs, rp); d != "" {
+			return name, d + fmt.Sprintf(" (cfg %+v)", cfg)
+		}
+	}
+	return "", ""
+}
+
+// diffResultMetrics compares every modelled metric of a serial and a
+// parallel result, EngineSwitches excepted, returning "" when bit-identical.
+func diffResultMetrics(a, b *core.Result) string {
+	if d := diffReports(a.Reports, b.Reports); d != "" {
+		return "reports: " + d
+	}
+	scalars := []struct {
+		name string
+		a, b interface{}
+	}{
+		{"Correct", a.Correct, b.Correct},
+		{"BaselineCycles", a.BaselineCycles, b.BaselineCycles},
+		{"TotalCycles", a.TotalCycles, b.TotalCycles},
+		{"RawTotalCycles", a.RawTotalCycles, b.RawTotalCycles},
+		{"Clamped", a.Clamped, b.Clamped},
+		{"Speedup", a.Speedup, b.Speedup},
+		{"IdealSpeedup", a.IdealSpeedup, b.IdealSpeedup},
+		{"AvgActiveFlows", a.AvgActiveFlows, b.AvgActiveFlows},
+		{"SwitchOverheadPct", a.SwitchOverheadPct, b.SwitchOverheadPct},
+		{"AvgHostCycles", a.AvgHostCycles, b.AvgHostCycles},
+		{"TotalEvents", a.TotalEvents, b.TotalEvents},
+		{"ReportIncrease", a.ReportIncrease, b.ReportIncrease},
+		{"TransitionRatio", a.TransitionRatio, b.TransitionRatio},
+		{"MispredictedSegments", a.MispredictedSegments, b.MispredictedSegments},
+		{"CapacityNote", a.CapacityNote, b.CapacityNote},
+	}
+	for _, s := range scalars {
+		if s.a != s.b {
+			return fmt.Sprintf("%s: serial %v, parallel %v", s.name, s.a, s.b)
+		}
+	}
+	if len(a.Segments) != len(b.Segments) {
+		return fmt.Sprintf("segment count: serial %d, parallel %d", len(a.Segments), len(b.Segments))
+	}
+	for i := range a.Segments {
+		sa, sb := a.Segments[i], b.Segments[i]
+		sa.EngineSwitches, sb.EngineSwitches = 0, 0
+		if sa != sb {
+			return fmt.Sprintf("segment %d: serial %+v, parallel %+v", i, sa, sb)
+		}
+	}
+	return ""
 }
 
 // parallelConfig draws a PAP configuration from rng. With toggled set, the

@@ -62,10 +62,22 @@ type Config struct {
 	// profiling the input for a frequent low-range symbol (§3.1).
 	CutSymbol int
 
-	// Workers bounds simulator goroutines used to execute flows of one
-	// segment concurrently. It affects wall-clock simulation speed only,
-	// never modelled AP cycles. Default: GOMAXPROCS.
+	// Workers bounds the simulator goroutines of the shared flow-execution
+	// pool (one pool per run; every segment draws from it). It affects
+	// wall-clock simulation speed only, never modelled AP cycles.
+	// Default: GOMAXPROCS.
 	Workers int
+
+	// SegmentParallel executes the k input segments concurrently from t=0
+	// on their own goroutines — the paper's actual machine model (§3,
+	// Figure 6) — chaining boundary truth through channels so each
+	// segment's Flow Invalidation Vector fires the moment its predecessor's
+	// truth is known. Modelled ap.Cycles metrics are bit-identical to the
+	// serial scheduler (the conformance parity invariant asserts this);
+	// only real wall-clock time changes. Default true (DefaultConfig); set
+	// false for the serial scheduler, kept for the timing model's
+	// determinism checks and single-threaded debugging.
+	SegmentParallel bool
 
 	// Engine selects the execution backend for every engine this run
 	// creates — the golden run, the per-flow TDM engines, and speculative
@@ -112,6 +124,7 @@ func DefaultConfig(ranks int) Config {
 		Utilization:        1.0,
 		CutSymbol:          -1,
 		Workers:            runtime.GOMAXPROCS(0),
+		SegmentParallel:    true,
 		AbsorbDeactivation: true,
 	}
 }

@@ -77,24 +77,102 @@ type snapshot struct {
 	frontier []nfa.StateID // sorted
 }
 
-// runSegment executes one segment's flows under TDM, applying deactivation,
-// convergence, and (unless disabled) the Flow Invalidation Vector that
-// arrives at wall-clock cycle fivAt carrying the truth in seg.unitTrue.
-func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
-	cfg := p.Cfg
-	asgFlow := seg.flows[0]
+// flowPool is the bounded worker pool that executes flow-rounds. One pool
+// is shared by every segment of a run (replacing the per-segment, per-round
+// goroutine fan-out the scheduler used to spawn): Config.Workers goroutines,
+// each lazily creating and then owning one engine, drain a single task
+// channel. Pool sizing therefore bounds both simulator threads and engine
+// allocations for the whole run, regardless of segment count.
+type flowPool struct {
+	work chan func(engine.Engine)
+	wg   sync.WaitGroup
+}
 
-	workers := cfg.Workers
-	if workers > len(seg.flows) {
-		workers = len(seg.flows)
-	}
+// newFlowPool starts a pool of the given width. Close it with close().
+func (p *Plan) newFlowPool(workers int) *flowPool {
 	if workers < 1 {
 		workers = 1
 	}
-	engines := make([]engine.Engine, workers)
-	for i := range engines {
-		engines[i] = p.newEngine()
+	fp := &flowPool{work: make(chan func(engine.Engine), 4*workers)}
+	fp.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer fp.wg.Done()
+			var e engine.Engine
+			for fn := range fp.work {
+				if e == nil {
+					e = p.newEngine()
+				}
+				fn(e)
+			}
+		}()
 	}
+	return fp
+}
+
+func (fp *flowPool) close() {
+	close(fp.work)
+	fp.wg.Wait()
+}
+
+// segScheduler is the per-segment policy hook of the TDM round loop: what
+// bookkeeping runs after every round, and how the "has the Flow
+// Invalidation Vector arrived by now?" question is answered at each round
+// boundary. The serial scheduler knows fivAt before the segment starts; the
+// cross-segment parallel scheduler (sched.go) answers from the
+// predecessor's live truth cell, blocking only while the answer is genuinely
+// undetermined.
+type segScheduler interface {
+	// tick runs after each round's cycle accounting, with seg.Cycles at the
+	// round's end time.
+	tick(seg *segmentResult)
+	// fivArrived reports whether the FIV has arrived by seg.Cycles. last
+	// marks the check after the final round; implementations may defer the
+	// decision to finishFIV (sched.go), which yields an identical outcome
+	// because a kill at the end of the final round has no further in-loop
+	// effect.
+	fivArrived(seg *segmentResult, last bool) bool
+}
+
+// serialFIV is the serial scheduler's policy: the FIV arrival time is known
+// up front from the already-finished predecessor.
+type serialFIV struct{ fivAt ap.Cycles }
+
+func (serialFIV) tick(*segmentResult) {}
+func (s serialFIV) fivArrived(seg *segmentResult, _ bool) bool {
+	return seg.Cycles >= s.fivAt
+}
+
+// applyFIV kills every alive enumeration flow whose attribution holds no
+// true unit (§3.4): the Flow Invalidation Vector has arrived.
+func applyFIV(seg *segmentResult) {
+	seg.FIVApplied = true
+	for _, f := range seg.flows[1:] {
+		if f.alive && !anyAttribTrue(f.attrib, seg.unitTrue) {
+			f.alive = false
+			seg.FIVKills++
+		}
+	}
+}
+
+// runSegment executes one segment's flows under TDM, applying deactivation,
+// convergence, and (unless disabled) the Flow Invalidation Vector that
+// arrives at wall-clock cycle fivAt carrying the truth in seg.unitTrue. It
+// owns a private flow pool; the run-wide schedulers in result.go and
+// sched.go share one pool across all segments instead.
+func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
+	pool := p.newFlowPool(p.Cfg.Workers)
+	defer pool.close()
+	p.runSegmentRounds(seg, input, pool, serialFIV{fivAt})
+}
+
+// runSegmentRounds is the TDM round loop shared by both schedulers. All
+// modelled quantities it computes depend only on (plan, segment, input) —
+// never on pool width or scheduler interleaving — which is what makes the
+// serial and parallel schedulers bit-identical in ap.Cycles metrics.
+func (p *Plan) runSegmentRounds(seg *segmentResult, input []byte, pool *flowPool, sched segScheduler) {
+	cfg := p.Cfg
+	asgFlow := seg.flows[0]
 
 	pos := seg.Start
 	round := 0
@@ -119,33 +197,41 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 			seg.Cycles += ap.Cycles(cfg.SwitchCycles * len(live))
 		}
 
-		// The ASG/golden flow runs first each round; in round 0 it records
-		// the probe snapshots the other flows are compared against.
-		asgTrace := p.runFlowRound(seg, asgFlow, input, engines[0], pos, k, round == 0, nil)
-
-		rest := live[1:]
-		if len(rest) > 0 {
-			var wg sync.WaitGroup
-			work := make(chan *flowRun, len(rest))
-			for _, f := range rest {
-				work <- f
+		// Dispatch the round's flows to the shared pool. The ASG/golden
+		// flow records the probe snapshots the other flows are compared
+		// against in round 0, so there it must finish first; later rounds
+		// have no cross-flow dependency and dispatch everything at once.
+		first := round == 0
+		var wg sync.WaitGroup
+		var asgTrace []snapshot
+		runFlow := func(f *flowRun, trace []snapshot, out *[]snapshot) {
+			wg.Add(1)
+			pool.work <- func(e engine.Engine) {
+				defer wg.Done()
+				sw := adaptiveSwitches(e)
+				tr := p.runFlowRound(seg, f, input, e, pos, k, first, trace)
+				if d := adaptiveSwitches(e) - sw; d != 0 {
+					seg.mu.Lock()
+					seg.EngSwitches += d
+					seg.mu.Unlock()
+				}
+				if out != nil {
+					*out = tr
+				}
 			}
-			close(work)
-			nw := workers
-			if nw > len(rest) {
-				nw = len(rest)
-			}
-			for w := 0; w < nw; w++ {
-				wg.Add(1)
-				go func(e engine.Engine) {
-					defer wg.Done()
-					for f := range work {
-						p.runFlowRound(seg, f, input, e, pos, k, round == 0, asgTrace)
-					}
-				}(engines[w])
-			}
-			wg.Wait()
 		}
+		if first {
+			runFlow(asgFlow, nil, &asgTrace)
+			wg.Wait()
+			for _, f := range live[1:] {
+				runFlow(f, asgTrace, nil)
+			}
+		} else {
+			for _, f := range live {
+				runFlow(f, nil, nil)
+			}
+		}
+		wg.Wait()
 
 		pos += k
 		// TDM: the half-core processes each alive flow's k symbols in
@@ -156,6 +242,7 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 			symsAfter += f.symbols
 		}
 		seg.Cycles += ap.Cycles(symsAfter - symsBefore)
+		sched.tick(seg)
 
 		// Deactivation sweep at the context switch (§3.3.4): a flow whose
 		// enumeration activity has died (zero-mask compare on the state
@@ -198,31 +285,27 @@ func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 
 		// Flow Invalidation Vector: once the previous segment's truth is
 		// known (and transferred), false flows are killed (§3.4).
-		if !fivApplied && seg.Cycles >= fivAt {
+		if !fivApplied && sched.fivArrived(seg, pos >= seg.End) {
 			fivApplied = true
-			seg.FIVApplied = true
-			for _, f := range seg.flows[1:] {
-				if f.alive && !anyAttribTrue(f.attrib, seg.unitTrue) {
-					f.alive = false
-					seg.FIVKills++
-				}
-			}
+			applyFIV(seg)
 		}
-	}
-	for _, e := range engines {
-		seg.EngSwitches += adaptiveSwitches(e)
 	}
 	// Hardware-faithful totals: on the AP every alive flow re-fires the
 	// always-enabled baseline each cycle, so the baseline's transitions and
 	// report events are duplicated across flows (the simulator computes
 	// them once, in the ASG flow — see engine.SetBaseline). Scale the
-	// baseline share by the time-averaged alive-flow count.
+	// baseline share by the time-averaged alive-flow count. A degenerate
+	// zero-round segment (Start == End) has no baseline duplication; the
+	// guard matters because 0/0 is NaN and int64(NaN) is unspecified.
 	var enumTrans, enumEvents int64
 	for _, f := range seg.flows[1:] {
 		enumTrans += f.trans
 		enumEvents += int64(len(f.reports))
 	}
-	dup := float64(seg.FlowRounds) / float64(seg.Rounds)
+	dup := 0.0
+	if seg.Rounds > 0 {
+		dup = float64(seg.FlowRounds) / float64(seg.Rounds)
+	}
 	seg.Transitions = enumTrans + int64(float64(asgFlow.trans)*dup)
 	seg.EventsEmitted = enumEvents + int64(float64(len(asgFlow.reports))*dup)
 }

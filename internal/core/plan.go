@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pap/internal/ap"
 	"pap/internal/engine"
@@ -61,6 +62,11 @@ type Plan struct {
 	// larger range).
 	ExactCuts int
 
+	// symMu guards symPlans: NewPlan prebuilds the plan for every boundary
+	// symbol in use, but SymbolPlanFor lazily builds plans for other symbols
+	// on demand, and a Plan is driven from many goroutines (the segment
+	// drivers and the flow pool).
+	symMu    sync.RWMutex
 	symPlans map[byte]*SymbolPlan
 
 	// tables is the automaton's symbol→match-vector table, shared by every
@@ -150,10 +156,18 @@ func NewPlan(n *nfa.NFA, input []byte, cfg Config) (*Plan, error) {
 	return p, nil
 }
 
-// SymbolPlanFor returns the flow plan for one boundary symbol.
+// SymbolPlanFor returns the flow plan for one boundary symbol, building and
+// caching it on first use. Safe for concurrent callers.
 func (p *Plan) SymbolPlanFor(sym byte) *SymbolPlan {
+	p.symMu.RLock()
 	sp, ok := p.symPlans[sym]
-	if !ok {
+	p.symMu.RUnlock()
+	if ok {
+		return sp
+	}
+	p.symMu.Lock()
+	defer p.symMu.Unlock()
+	if sp, ok = p.symPlans[sym]; !ok {
 		sp = buildSymbolPlan(p.NFA, sym, p.Cfg)
 		p.symPlans[sym] = sp
 	}
@@ -163,6 +177,8 @@ func (p *Plan) SymbolPlanFor(sym byte) *SymbolPlan {
 // MaxFlows returns the largest flow count across boundary symbols in use
 // (+1 for the ASG flow), the figure checked against SVC capacity.
 func (p *Plan) MaxFlows() int {
+	p.symMu.RLock()
+	defer p.symMu.RUnlock()
 	m := 0
 	for _, sp := range p.symPlans {
 		if len(sp.Flows) > m {

@@ -119,45 +119,23 @@ func (p *Plan) Execute(input []byte) (*Result, error) {
 
 	segs := p.buildSegments(input, bounds)
 
-	// Execute segments in order, chaining truth through the timeline
-	// (§3.4, Figure 6): each segment's state-vector transfer and event scan
-	// start when it finishes and overlap everything else; only the
+	// Execute the segments, chaining truth through the timeline (§3.4,
+	// Figure 6): each segment's state-vector transfer and event scan start
+	// when it finishes and overlap everything else; only the
 	// truth-propagation step chains serially. The FIV for segment j+1
-	// departs as soon as segment j's truth is known.
-	var prevKnown ap.Cycles
-	for j, seg := range segs {
-		fivAt := ap.Cycles(1<<62 - 1)
-		if j > 0 && !p.Cfg.DisableFIV {
-			fivAt = prevKnown + ap.FIVTransferCycles
-		}
-		p.runSegment(seg, input, fivAt)
-		done := seg.Cycles
-		if p.Cfg.Speculate && j > 0 {
-			done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles)
-		}
-
-		aliveFlows := 0
-		for _, f := range seg.flows {
-			if f.alive {
-				aliveFlows++
-			}
-		}
-		nextUnits := 0
-		if j+1 < len(segs) && !p.Cfg.Speculate {
-			nextUnits = len(p.SymbolPlanFor(segs[j+1].Sym).Units)
-		}
-		par := hostParallelCycles(p.Placement.Devices, seg.EventsEmitted, nextUnits, aliveFlows)
-		ser := hostSerialCycles(nextUnits, aliveFlows)
-		seg.HostCycles = par + ser
-		known := done + par
-		if j > 0 && prevKnown > known {
-			known = prevKnown
-		}
-		seg.KnownAt = known + ser
-		prevKnown = seg.KnownAt
+	// departs as soon as segment j's truth is known. Both schedulers share
+	// one bounded flow pool and produce bit-identical modelled metrics; the
+	// parallel one (sched.go, the default) also overlaps the segments'
+	// wall-clock simulation the way the hardware overlaps its half-cores.
+	pool := p.newFlowPool(p.Cfg.Workers)
+	if p.Cfg.SegmentParallel {
+		p.executeParallel(segs, input, bounds, pool)
+	} else {
+		p.executeSerial(segs, input, bounds, pool)
 	}
-	res.RawTotalCycles = prevKnown
-	res.TotalCycles = prevKnown
+	pool.close()
+	res.RawTotalCycles = segs[len(segs)-1].KnownAt
+	res.TotalCycles = res.RawTotalCycles
 	if res.TotalCycles > res.BaselineCycles {
 		// Golden execution (§5.1): the half-core that ran segment 1 keeps
 		// processing the remaining segments sequentially with known start
@@ -243,6 +221,34 @@ func (p *Plan) buildSegments(input []byte, bounds []engine.Boundary) []*segmentR
 		segs[j] = seg
 	}
 	return segs
+}
+
+// chainSegment performs the host-side truth-propagation step for one
+// finished segment (§3.4): count the surviving flows, decode against the
+// next segment's units, and fold the predecessor's KnownAt into this one —
+// the serial link of the timeline. done is the segment's completion time
+// (post-rerun under speculation); prevKnown is the predecessor's KnownAt (0
+// for segment 0). Returns — and records — this segment's KnownAt.
+func (p *Plan) chainSegment(seg *segmentResult, next *segmentResult, done, prevKnown ap.Cycles) ap.Cycles {
+	aliveFlows := 0
+	for _, f := range seg.flows {
+		if f.alive {
+			aliveFlows++
+		}
+	}
+	nextUnits := 0
+	if next != nil && !p.Cfg.Speculate {
+		nextUnits = len(p.SymbolPlanFor(next.Sym).Units)
+	}
+	par := hostParallelCycles(p.Placement.Devices, seg.EventsEmitted, nextUnits, aliveFlows)
+	ser := hostSerialCycles(nextUnits, aliveFlows)
+	seg.HostCycles = par + ser
+	known := done + par
+	if seg.Index > 0 && prevKnown > known {
+		known = prevKnown
+	}
+	seg.KnownAt = known + ser
+	return seg.KnownAt
 }
 
 // unitTruth evaluates every unit of a symbol plan against the golden

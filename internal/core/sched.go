@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+
+	"pap/internal/ap"
+	"pap/internal/engine"
+)
+
+// Cross-segment scheduler: the paper's machine model runs the k input
+// segments simultaneously on k half-cores from t=0 (§3, Figure 6), with the
+// only serial dependency being truth propagation — segment j's decoded
+// boundary truth (and the Flow Invalidation Vector derived from it) reaches
+// segment j+1 FIVTransferCycles after segment j's truth is known (§3.4).
+//
+// The simulator mirrors that shape: executeParallel drives every segment on
+// its own goroutine, all drawing flow work from one shared bounded pool
+// (exec.go), and chains truth through per-segment truthCells. The subtle
+// part is keeping modelled time exact while real time is concurrent:
+// segment j+1 must decide, at each of its own round boundaries, whether the
+// FIV "has arrived by now" in modelled cycles — before segment j has
+// necessarily finished computing its KnownAt. The truthCell protocol makes
+// that decision safe:
+//
+//   - Segment j publishes a monotone lower bound on its final KnownAt after
+//     every round (its accumulated busy cycles; KnownAt >= final Cycles by
+//     construction in chainSegment).
+//   - Segment j+1, at a round boundary at modelled time c, waits only while
+//     the truth is unknown AND bound + FIVTransferCycles <= c. Once
+//     bound + FIVTransferCycles > c the FIV provably cannot have arrived by
+//     c, so the round loop continues without blocking; once the truth is
+//     known the comparison is exact.
+//
+// Decisions that cannot affect the remaining loop are deferred instead of
+// blocking: the check after the final round, and checks while no
+// enumeration flow is alive (nothing to kill). finishFIV resolves them
+// after the loop from the final, monotone seg.Cycles — producing the same
+// FIVApplied flag and kill set the serial scheduler computes in-loop.
+//
+// Everything else the chain needs (the truth content seg.unitTrue) is
+// derived from the golden run before any segment starts, so only timing —
+// never truth values — flows through the cells. The result: every modelled
+// ap.Cycles metric is bit-identical between executeSerial and
+// executeParallel (the conformance parity invariant asserts this); only
+// wall-clock changes.
+
+// maxCycles stands in for "never" (an FIV that cannot arrive).
+const maxCycles = ap.Cycles(1<<62 - 1)
+
+// truthCell carries one segment's truth timing to its successor.
+type truthCell struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	progress ap.Cycles // monotone lower bound on the final knownAt
+	known    bool
+	knownAt  ap.Cycles // final KnownAt, valid once known
+}
+
+func newTruthCell() *truthCell {
+	t := &truthCell{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// advance raises the published lower bound on this segment's KnownAt.
+func (t *truthCell) advance(c ap.Cycles) {
+	t.mu.Lock()
+	if c > t.progress {
+		t.progress = c
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+// resolve publishes the final KnownAt and wakes every waiter.
+func (t *truthCell) resolve(knownAt ap.Cycles) {
+	t.mu.Lock()
+	t.known = true
+	t.knownAt = knownAt
+	if knownAt > t.progress {
+		t.progress = knownAt
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// waitKnown blocks until the final KnownAt is published.
+func (t *truthCell) waitKnown() ap.Cycles {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for !t.known {
+		t.cond.Wait()
+	}
+	return t.knownAt
+}
+
+// waitDecidable blocks until the FIV question at modelled time c is
+// decidable: either the truth is known (exact comparison), or the
+// publisher's progress guarantees the FIV cannot arrive by c.
+func (t *truthCell) waitDecidable(c ap.Cycles) (knownAt ap.Cycles, known bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for !t.known && t.progress+ap.FIVTransferCycles <= c {
+		t.cond.Wait()
+	}
+	return t.knownAt, t.known
+}
+
+// pipelineFIV is the parallel scheduler's per-segment policy (see
+// segScheduler in exec.go): publish progress every round, answer FIV checks
+// from the predecessor's truth cell.
+type pipelineFIV struct {
+	pred *truthCell // nil for segment 0 (no FIV ever arrives)
+	self *truthCell
+}
+
+func (s *pipelineFIV) tick(seg *segmentResult) { s.self.advance(seg.Cycles) }
+
+func (s *pipelineFIV) fivArrived(seg *segmentResult, last bool) bool {
+	if s.pred == nil {
+		return false
+	}
+	if last || !anyAliveEnum(seg) {
+		// Nothing a kill could change in the remaining loop; decided by
+		// finishFIV once the predecessor's truth is known, without blocking.
+		return false
+	}
+	knownAt, known := s.pred.waitDecidable(seg.Cycles)
+	return known && seg.Cycles >= knownAt+ap.FIVTransferCycles
+}
+
+// anyAliveEnum reports whether any enumeration flow is still alive.
+func anyAliveEnum(seg *segmentResult) bool {
+	for _, f := range seg.flows[1:] {
+		if f.alive {
+			return true
+		}
+	}
+	return false
+}
+
+// finishFIV resolves a deferred FIV decision after the round loop: the
+// serial scheduler would have checked seg.Cycles >= fivAt at the skipped
+// round boundaries, and because seg.Cycles is monotone the final value
+// decides identically.
+func (p *Plan) finishFIV(seg *segmentResult, fivAt ap.Cycles) {
+	if p.Cfg.DisableFIV || seg.FIVApplied {
+		return
+	}
+	if seg.Cycles >= fivAt {
+		applyFIV(seg)
+	}
+}
+
+// executeSerial runs segments one after another — the original scheduler,
+// kept (Config.SegmentParallel = false) as the determinism baseline the
+// parallel scheduler is checked against.
+func (p *Plan) executeSerial(segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
+	var prevKnown ap.Cycles
+	for j, seg := range segs {
+		fivAt := maxCycles
+		if j > 0 && !p.Cfg.DisableFIV {
+			fivAt = prevKnown + ap.FIVTransferCycles
+		}
+		p.runSegmentRounds(seg, input, pool, serialFIV{fivAt})
+		done := seg.Cycles
+		if p.Cfg.Speculate && j > 0 {
+			done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles, pool)
+		}
+		var next *segmentResult
+		if j+1 < len(segs) {
+			next = segs[j+1]
+		}
+		prevKnown = p.chainSegment(seg, next, done, prevKnown)
+	}
+}
+
+// executeParallel runs every segment on its own goroutine from t=0,
+// chaining truth through truthCells. Segment j resolves its cell the moment
+// chainSegment computes its KnownAt; segment j+1's in-loop FIV gate fires on
+// receipt. All goroutines share the one bounded flow pool.
+func (p *Plan) executeParallel(segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
+	cells := make([]*truthCell, len(segs))
+	for j := range cells {
+		cells[j] = newTruthCell()
+	}
+	var wg sync.WaitGroup
+	for j, seg := range segs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pred *truthCell
+			if j > 0 {
+				pred = cells[j-1]
+			}
+			p.runSegmentRounds(seg, input, pool, &pipelineFIV{pred: pred, self: cells[j]})
+			var prevKnown ap.Cycles
+			if j > 0 {
+				prevKnown = pred.waitKnown()
+				p.finishFIV(seg, prevKnown+ap.FIVTransferCycles)
+			}
+			done := seg.Cycles
+			if p.Cfg.Speculate && j > 0 {
+				done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles, pool)
+			}
+			var next *segmentResult
+			if j+1 < len(segs) {
+				next = segs[j+1]
+			}
+			cells[j].resolve(p.chainSegment(seg, next, done, prevKnown))
+		}()
+	}
+	wg.Wait()
+}

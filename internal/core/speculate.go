@@ -17,6 +17,8 @@ package core
 // is why the paper chose enumeration for pm = 0.75 traffic.
 
 import (
+	"sync"
+
 	"pap/internal/ap"
 	"pap/internal/engine"
 )
@@ -24,10 +26,12 @@ import (
 // runSpeculative executes one segment under speculation. The ASG-only pass
 // has already run (seg.flows == {ASG}); this applies the misprediction
 // penalty: re-running the segment with the true boundary state, starting
-// once that state is known (readyAt) and the pass has finished.
+// once that state is known (readyAt) and the pass has finished. The
+// functional re-execution draws an engine from the run's shared pool, so
+// concurrent mispredicted segments still respect the Config.Workers bound.
 // It returns the segment's completion time.
 func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
-	boundary engine.Boundary, readyAt ap.Cycles) ap.Cycles {
+	boundary engine.Boundary, readyAt ap.Cycles, pool *flowPool) ap.Cycles {
 
 	done := seg.Cycles
 	if len(boundary.Enabled) == 0 {
@@ -43,16 +47,23 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		alive:  true,
 		attrib: []attribEntry{{CC: -1, Unit: -1, From: int64(seg.Start)}},
 	}
-	e := p.newEngine()
-	e.SetBaseline(false)
-	e.Reset(boundary.Enabled)
-	emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
-	for i := seg.Start; i < seg.End; i++ {
-		e.Step(input[i], int64(i), emit)
-		rerun.symbols++
+	var wg sync.WaitGroup
+	wg.Add(1)
+	pool.work <- func(e engine.Engine) {
+		defer wg.Done()
+		sw := adaptiveSwitches(e)
+		t0 := e.Transitions()
+		e.SetBaseline(false)
+		e.Reset(boundary.Enabled)
+		emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
+		for i := seg.Start; i < seg.End; i++ {
+			e.Step(input[i], int64(i), emit)
+			rerun.symbols++
+		}
+		rerun.trans = e.Transitions() - t0
+		seg.EngSwitches += adaptiveSwitches(e) - sw
 	}
-	rerun.trans = e.Transitions()
-	seg.EngSwitches += adaptiveSwitches(e)
+	wg.Wait()
 	seg.flows = append(seg.flows, rerun)
 
 	// Timing: the re-run occupies the segment's half-core for its full

@@ -274,7 +274,7 @@ func (s *Server) handleDeleteAutomaton(w http.ResponseWriter, r *http.Request) {
 // ---- matching ----
 
 // parseParallelConfig builds a pap.Config from match query parameters.
-func parseParallelConfig(q map[string][]string) (pap.Config, error) {
+func parseParallelConfig(q map[string][]string, serialDefault bool) (pap.Config, error) {
 	get := func(k string) string {
 		if vs := q[k]; len(vs) > 0 {
 			return vs[0]
@@ -282,6 +282,7 @@ func parseParallelConfig(q map[string][]string) (pap.Config, error) {
 		return ""
 	}
 	cfg := pap.DefaultConfig(1)
+	cfg.SerialSegments = serialDefault
 	if v := get("ranks"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > 4 {
@@ -302,6 +303,13 @@ func parseParallelConfig(q map[string][]string) (pap.Config, error) {
 			return cfg, fmt.Errorf("speculate must be a bool, got %q", v)
 		}
 		cfg.Speculate = b
+	}
+	if v := get("serial_segments"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("serial_segments must be a bool, got %q", v)
+		}
+		cfg.SerialSegments = b
 	}
 	return cfg, nil
 }
@@ -354,7 +362,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 		s.countEngineSteps(eng, len(payload))
 	case "parallel":
-		cfg, err := parseParallelConfig(q)
+		cfg, err := parseParallelConfig(q, s.cfg.SerialSegments)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return

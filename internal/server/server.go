@@ -47,6 +47,11 @@ type Config struct {
 	MaxAutomata int
 	// MaxStreams bounds live streaming sessions (default 4096).
 	MaxStreams int
+	// SerialSegments makes /match?mode=parallel requests default to the
+	// serial cross-segment scheduler (requests may override per call with
+	// serial_segments=). Results and modelled stats are identical either
+	// way; serial mode only changes simulator wall-clock behaviour.
+	SerialSegments bool
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +143,14 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.reg.Len()) })
 	m.GaugeFunc("papd_uptime_seconds", "Seconds since the server started.", "",
 		func() float64 { return time.Since(s.started).Seconds() })
+	m.GaugeFunc("papd_segment_parallelism",
+		"1 when parallel-mode matches default to the cross-segment parallel scheduler, 0 when serial.", "",
+		func() float64 {
+			if s.cfg.SerialSegments {
+				return 0
+			}
+			return 1
+		})
 	s.sessions.SetExpiredCounter(m.Counter("papd_streams_expired_total",
 		"Streaming sessions expired for idleness.", ""))
 

@@ -207,6 +207,7 @@ func TestServerEndToEnd(t *testing.T) {
 		`papd_automaton_matches_total{automaton="ids"}`,
 		"papd_parallel_speedup_count 1",
 		"papd_stream_bytes_total 32768",
+		"papd_segment_parallelism 1",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q", want)
@@ -438,5 +439,61 @@ func TestServerEngineSelection(t *testing.T) {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestSerialSegmentsScheduler covers the cross-segment scheduler plumbing:
+// a server configured with SerialSegments defaults parallel-mode matches to
+// the serial scheduler (gauge at 0), a request can override it per call,
+// and both schedulers return identical matches and modelled AP stats.
+func TestSerialSegmentsScheduler(t *testing.T) {
+	_, ts := newTestServer(t, Config{SerialSegments: true})
+
+	reg, _ := json.Marshal(registerRequest{Name: "r", Patterns: []string{"attack", "needle"}})
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata", reg, nil); code != 201 {
+		t.Fatalf("register = %d %q", code, body)
+	}
+	payload := testInput(1<<15, 7, "attack", "needle")
+
+	var serial, parallel matchResponse
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata/r/match?mode=parallel&segments=8", payload, &serial); code != 200 {
+		t.Fatalf("serial-default match = %d %q", code, body)
+	}
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata/r/match?mode=parallel&segments=8&serial_segments=false", payload, &parallel); code != 200 {
+		t.Fatalf("parallel-override match = %d %q", code, body)
+	}
+	if serial.AP == nil || parallel.AP == nil {
+		t.Fatalf("missing AP stats: %+v vs %+v", serial.AP, parallel.AP)
+	}
+	if !serial.AP.Verified || !parallel.AP.Verified {
+		t.Fatalf("unverified results: %+v vs %+v", serial.AP, parallel.AP)
+	}
+	if len(serial.Matches) != len(parallel.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(serial.Matches), len(parallel.Matches))
+	}
+	for i := range serial.Matches {
+		if serial.Matches[i] != parallel.Matches[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, serial.Matches[i], parallel.Matches[i])
+		}
+	}
+	// Modelled stats are scheduler-independent (engine_switches excepted,
+	// which is worker-scheduling-dependent by design).
+	if serial.AP.Segments != parallel.AP.Segments ||
+		serial.AP.Speedup != parallel.AP.Speedup ||
+		serial.AP.BaselineNS != parallel.AP.BaselineNS ||
+		serial.AP.ParallelNS != parallel.AP.ParallelNS ||
+		serial.AP.AvgActiveFlows != parallel.AP.AvgActiveFlows ||
+		serial.AP.SwitchOverheadPct != parallel.AP.SwitchOverheadPct ||
+		serial.AP.FalseReportRatio != parallel.AP.FalseReportRatio {
+		t.Fatalf("modelled stats differ:\nserial:   %+v\nparallel: %+v", serial.AP, parallel.AP)
+	}
+
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/automata/r/match?mode=parallel&serial_segments=zzz", payload, nil); code != 400 {
+		t.Fatalf("bad serial_segments = %d, want 400", code)
+	}
+
+	_, metrics := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	if !strings.Contains(string(metrics), "papd_segment_parallelism 0") {
+		t.Errorf("metrics missing papd_segment_parallelism 0:\n%s", metrics)
 	}
 }

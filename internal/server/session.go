@@ -69,7 +69,7 @@ func (s *Session) Write(chunk []byte) ([]pap.Match, int64, int64, error) {
 	sw := s.stream.EngineSwitches()
 	dsw := sw - s.lastSwtch
 	s.lastSwtch = sw
-	s.lastUsed = time.Now()
+	s.lastUsed = time.Now().UTC()
 	return out, s.stream.Offset(), dsw, nil
 }
 
@@ -157,12 +157,14 @@ func (m *SessionManager) Create(e *Entry, eng pap.EngineKind) (*Session, error) 
 	if err != nil {
 		return nil, err
 	}
-	now := time.Now()
+	// Both timestamps are kept in UTC so SessionInfo JSON exposes created
+	// and last_used in the same zone.
+	now := time.Now().UTC()
 	s := &Session{
 		ID:        id,
 		Automaton: e.Name,
 		Engine:    eng,
-		Created:   now.UTC(),
+		Created:   now,
 		stream:    e.Automaton.NewStream(pap.WithEngine(eng)),
 		lastUsed:  now,
 	}

@@ -41,6 +41,35 @@ func TestSessionWriteAcrossChunks(t *testing.T) {
 	}
 }
 
+// TestSessionTimestampsUTC is the regression for Create storing Created in
+// UTC but lastUsed in the local zone, which leaked two different zones into
+// one SessionInfo JSON object.
+func TestSessionTimestampsUTC(t *testing.T) {
+	m := NewSessionManager(0, 0)
+	defer m.Stop()
+	s, err := m.Create(testEntry(t), pap.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if info.Created.Location() != time.UTC {
+		t.Fatalf("Created zone = %v, want UTC", info.Created.Location())
+	}
+	if info.LastUsed.Location() != time.UTC {
+		t.Fatalf("LastUsed zone = %v, want UTC", info.LastUsed.Location())
+	}
+	if info.Created.Location() != info.LastUsed.Location() {
+		t.Fatalf("zones differ: created=%v last_used=%v",
+			info.Created.Location(), info.LastUsed.Location())
+	}
+	if _, _, _, err := s.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Info().LastUsed.Location(); got != time.UTC {
+		t.Fatalf("LastUsed zone after Write = %v, want UTC", got)
+	}
+}
+
 func TestSessionLimit(t *testing.T) {
 	m := NewSessionManager(2, 0)
 	defer m.Stop()

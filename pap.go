@@ -319,6 +319,12 @@ type Config struct {
 	// Workers bounds simulator goroutines (0 = GOMAXPROCS); it never
 	// affects modelled AP cycles.
 	Workers int
+	// SerialSegments disables the cross-segment parallel scheduler and
+	// simulates segments one after another. Modelled AP cycles, matches and
+	// stats are bit-identical either way (the conformance suite asserts
+	// this); serial mode only trades simulator wall-clock speed for
+	// single-threaded-friendly execution.
+	SerialSegments bool
 	// Speculate replaces start-state enumeration with speculative
 	// execution (idle-boundary prediction + serial re-execution of
 	// mispredicted segments). Exactness is preserved; speedup collapses on
@@ -362,6 +368,7 @@ func (c Config) toCore() core.Config {
 	if c.Workers > 0 {
 		cfg.Workers = c.Workers
 	}
+	cfg.SegmentParallel = !c.SerialSegments
 	cfg.Speculate = c.Speculate
 	cfg.Engine = c.Engine.toKind()
 	return cfg
