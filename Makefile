@@ -7,7 +7,7 @@ GO ?= go
 COVER_MIN ?= 85.0
 
 .PHONY: all build test vet race fuzz bench bench-segments experiments \
-	report serve clean conformance cover
+	report serve clean conformance cover chaos vulncheck
 
 all: build vet test
 
@@ -34,6 +34,28 @@ fuzz:
 # docs/TESTING.md); `go test ./internal/conformance` runs a smaller one.
 conformance:
 	$(GO) run ./cmd/papconform -cases 20000
+
+# Chaos suite under the race detector: seeded fault injection (delays,
+# failures, panics) across both schedulers plus the robustness regression
+# tests (see docs/ROBUSTNESS.md). Full mode sweeps 500 seeded scenarios;
+# CHAOS_SHORT=1 runs the short fault matrix for smoke use.
+chaos:
+	$(GO) test -race $(if $(CHAOS_SHORT),-short) -count=1 \
+		-run 'TestChaos' ./internal/core/ \
+		-v -timeout 10m
+	$(GO) test -race -count=1 ./internal/faultinject/
+	$(GO) test -race -count=1 \
+		-run 'TestSessionExpiryRaces|TestMatchTimeout|TestMaxMatchDuration|TestStreamWriteTimeout' \
+		./internal/server/
+
+# Known-vulnerability scan; needs govulncheck (and network for the vuln DB).
+# Skips with a notice when the tool is absent so offline builds stay green.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Coverage with a regression gate: fails if total statement coverage drops
 # below COVER_MIN.

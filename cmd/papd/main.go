@@ -6,8 +6,8 @@
 // Usage:
 //
 //	papd [-addr :8461] [-workers N] [-queue N] [-timeout 30s]
-//	     [-stream-idle 10m] [-max-body 16777216] [-engine auto]
-//	     [-preload name=patterns.txt]...
+//	     [-max-match-duration 0] [-stream-idle 10m] [-max-body 16777216]
+//	     [-engine auto] [-preload name=patterns.txt]...
 //
 // Each -preload flag registers a regex ruleset at startup from a file of
 // one pattern per line (blank lines and #-comment lines skipped);
@@ -90,6 +90,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "matching workers (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "queued matches beyond workers before 429 (0 = 4x workers)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request match timeout")
+		maxMatch   = flag.Duration("max-match-duration", 0, "hard cap on match execution time, overriding longer per-request timeout_ms values (0 = no cap beyond -timeout)")
 		streamIdle = flag.Duration("stream-idle", 10*time.Minute, "expire streaming sessions idle this long (<0 disables)")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request payload bytes")
 		drainWait  = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
@@ -105,6 +106,7 @@ func main() {
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		MatchTimeout:      *timeout,
+		MaxMatchDuration:  *maxMatch,
 		StreamIdleTimeout: *streamIdle,
 		MaxBodyBytes:      *maxBody,
 		SerialSegments:    *serialSegs,

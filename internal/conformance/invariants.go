@@ -1,12 +1,16 @@
 package conformance
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"pap/internal/core"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 	"pap/internal/nfa"
 )
 
@@ -58,6 +62,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 		return inv, d
 	}
 	if inv, d := checkSchedulerParity(c, oracle, sub); inv != "" {
+		return inv, d
+	}
+	if inv, d := checkCancellation(c, oracle, sub); inv != "" {
 		return inv, d
 	}
 	return "", ""
@@ -270,6 +277,83 @@ func checkSchedulerParity(c *Case, oracle []engine.Report, rng *rand.Rand) (stri
 		}
 		if d := diffResultMetrics(rs, rp); d != "" {
 			return name, d + fmt.Sprintf(" (cfg %+v)", cfg)
+		}
+	}
+	return "", ""
+}
+
+// checkCancellation asserts the cancellation contract on both schedulers:
+// a run cancelled at a pseudo-random modelled round boundary returns the
+// context error (wrapped in *core.Aborted with sane per-segment progress)
+// and no result — it never emits reports the oracle wouldn't, because it
+// emits none at all — and a clean re-run afterwards still reproduces the
+// oracle exactly, proving cancellation leaves no residue in shared state.
+// The cancel is driven through the fault-injection hook so it lands at a
+// deterministic modelled coordinate, not a wall-clock race.
+func checkCancellation(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	for _, par := range []bool{false, true} {
+		name := "cancellation-serial"
+		if par {
+			name = "cancellation-parallel"
+		}
+		cfg := parallelConfig(rng, false)
+		cfg.SegmentParallel = par
+		targetSeg, targetRound := rng.Intn(4), rng.Intn(3)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired atomic.Bool
+		cfg.Fault = func(p faultinject.Point) error {
+			if p.Stage == faultinject.RoundStep && p.Segment == targetSeg && p.Round == targetRound {
+				fired.Store(true)
+				cancel()
+			}
+			return nil
+		}
+		res, err := core.RunContext(ctx, c.NFA, c.Input, cfg)
+		cancel()
+
+		if fired.Load() {
+			if err == nil {
+				return name, fmt.Sprintf("cancel at seg %d round %d fired but the run succeeded (cfg %+v)",
+					targetSeg, targetRound, cfg)
+			}
+			if res != nil {
+				return name, fmt.Sprintf("non-nil result alongside %v", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				return name, fmt.Sprintf("error %v does not wrap context.Canceled", err)
+			}
+			var ab *core.Aborted
+			if !errors.As(err, &ab) {
+				return name, fmt.Sprintf("error %v is not *core.Aborted", err)
+			}
+			for _, p := range ab.Segments {
+				if p.Start > p.Pos || p.Pos > p.End {
+					return name, fmt.Sprintf("progress out of range: %+v", p)
+				}
+			}
+		} else {
+			// The target coordinate was never reached (fewer segments or
+			// rounds than drawn): the run must have completed normally.
+			if err != nil {
+				return name, fmt.Sprintf("unfired cancel but run failed: %v (cfg %+v)", err, cfg)
+			}
+			if d := diffReports(oracle, res.Reports); d != "" {
+				return name, "uncancelled run vs oracle: " + d
+			}
+		}
+
+		// Clean re-run: cancellation must leave no residue anywhere shared.
+		cfg.Fault = nil
+		clean, err := core.Run(c.NFA, c.Input, cfg)
+		if err != nil {
+			return name, fmt.Sprintf("clean re-run failed: %v (cfg %+v)", err, cfg)
+		}
+		if d := diffReports(oracle, clean.Reports); d != "" {
+			return name, "clean re-run vs oracle: " + d
 		}
 	}
 	return "", ""

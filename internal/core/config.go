@@ -24,6 +24,7 @@ import (
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 )
 
 // Config controls planning, execution, and the timing model. The zero
@@ -111,6 +112,15 @@ type Config struct {
 	DisableConvergence  bool // skip §3.3.3 checks
 	DisableDeactivation bool // skip §3.3.4 checks
 	DisableFIV          bool // never send Flow Invalidation Vectors
+
+	// Fault, when non-nil, is fired at every instrumented pipeline point
+	// (plan build, each TDM round boundary, FIV transfers, truth
+	// publication) and may delay the stage, fail it with an error, or
+	// panic — the deterministic chaos layer (internal/faultinject). A
+	// returned error aborts the run with *Aborted; a panic is recovered
+	// at the segment-goroutine boundary and converted likewise. nil (the
+	// default) costs one comparison per round and nothing per symbol.
+	Fault faultinject.Hook
 }
 
 // DefaultConfig returns the paper's operating point for the given number

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 	"pap/internal/nfa"
 )
 
@@ -62,7 +64,23 @@ type segmentResult struct {
 	svc      *ap.SVC // flow context store (one SVC per replica)
 	unitTrue []bool  // truth of this segment's units at its start boundary
 
+	// err and pos record an aborted segment: the cancellation, injected
+	// fault, or recovered panic that stopped it, and the input offset its
+	// round loop had reached. A segment with err != nil never contributes
+	// reports — the whole run returns *Aborted.
+	err error
+	pos int
+
 	mu sync.Mutex // guards Deactivations during round-0 parallel probes
+}
+
+// progress returns the next unprocessed input offset: Start for a segment
+// that never ran a round, End for one whose round loop finished.
+func (seg *segmentResult) progress() int {
+	if seg.pos < seg.Start {
+		return seg.Start
+	}
+	return seg.pos
 }
 
 // deactivationProbe is the spacing of the extra early deactivation checks
@@ -163,14 +181,20 @@ func applyFIV(seg *segmentResult) {
 func (p *Plan) runSegment(seg *segmentResult, input []byte, fivAt ap.Cycles) {
 	pool := p.newFlowPool(p.Cfg.Workers)
 	defer pool.close()
-	p.runSegmentRounds(seg, input, pool, serialFIV{fivAt})
+	p.runSegmentRounds(context.Background(), seg, input, pool, serialFIV{fivAt})
 }
 
 // runSegmentRounds is the TDM round loop shared by both schedulers. All
 // modelled quantities it computes depend only on (plan, segment, input) —
 // never on pool width or scheduler interleaving — which is what makes the
 // serial and parallel schedulers bit-identical in ap.Cycles metrics.
-func (p *Plan) runSegmentRounds(seg *segmentResult, input []byte, pool *flowPool, sched segScheduler) {
+//
+// Cancellation (and fault injection) is checked once per round, at the
+// flow context-switch boundary the paper's §3.2 TDM model already pays
+// for — the per-symbol inner loop stays check-free. On cancellation the
+// segment records ctx's error and its progress and returns; no flow task
+// is left in flight (every round joins its pool work before returning).
+func (p *Plan) runSegmentRounds(ctx context.Context, seg *segmentResult, input []byte, pool *flowPool, sched segScheduler) {
 	cfg := p.Cfg
 	asgFlow := seg.flows[0]
 
@@ -178,6 +202,15 @@ func (p *Plan) runSegmentRounds(seg *segmentResult, input []byte, pool *flowPool
 	round := 0
 	fivApplied := cfg.DisableFIV
 	for pos < seg.End {
+		seg.pos = pos
+		if err := cfg.fire(faultinject.RoundStep, seg.Index, round); err != nil {
+			seg.err = err
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			seg.err = err
+			return
+		}
 		k := cfg.TDMQuantum
 		if seg.End-pos < k {
 			k = seg.End - pos
@@ -286,10 +319,15 @@ func (p *Plan) runSegmentRounds(seg *segmentResult, input []byte, pool *flowPool
 		// Flow Invalidation Vector: once the previous segment's truth is
 		// known (and transferred), false flows are killed (§3.4).
 		if !fivApplied && sched.fivArrived(seg, pos >= seg.End) {
+			if err := cfg.fire(faultinject.FIVTransfer, seg.Index, round); err != nil {
+				seg.err = err
+				return
+			}
 			fivApplied = true
 			applyFIV(seg)
 		}
 	}
+	seg.pos = pos
 	// Hardware-faithful totals: on the AP every alive flow re-fires the
 	// always-enabled baseline each cycle, so the baseline's transitions and
 	// report events are duplicated across flows (the simulator computes

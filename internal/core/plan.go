@@ -7,6 +7,7 @@ import (
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 	"pap/internal/nfa"
 )
 
@@ -88,6 +89,9 @@ func (p *Plan) newEngine() engine.Engine {
 func NewPlan(n *nfa.NFA, input []byte, cfg Config) (*Plan, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if err := cfg.fire(faultinject.PlanBuild, -1, -1); err != nil {
+		return nil, fmt.Errorf("core: plan build: %w", err)
 	}
 	if len(input) == 0 {
 		return nil, fmt.Errorf("core: empty input")

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 	"pap/internal/nfa"
 )
 
@@ -81,11 +83,27 @@ type Result struct {
 // Run plans and executes PAP for one automaton and input, returning the
 // composed reports and all modelled metrics.
 func Run(n *nfa.NFA, input []byte, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), n, input, cfg)
+}
+
+// RunContext is Run under a context: a cancelled or expired ctx stops the
+// run at the next round boundary of every segment (and at coarse-grained
+// polls of the golden execution) and returns ctx's error wrapped in
+// *Aborted together with per-segment progress. Configured faults
+// (Config.Fault) abort the same way. The final deferred recover is the
+// backstop for panics outside any segment (plan build); segment panics
+// are converted at the segment-goroutine boundary by guardSegment.
+func RunContext(ctx context.Context, n *nfa.NFA, input []byte, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &Aborted{Cause: fmt.Errorf("core: pre-processing panicked: %v", r)}
+		}
+	}()
 	plan, err := NewPlan(n, input, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Execute(input)
+	return plan.ExecuteContext(ctx, input)
 }
 
 // Baseline returns the sequential AP cycle cost for an input and its
@@ -97,8 +115,24 @@ func Baseline(inputLen int, events int) ap.Cycles {
 
 // Execute runs the plan against the input it was built for.
 func (p *Plan) Execute(input []byte) (*Result, error) {
+	return p.ExecuteContext(context.Background(), input)
+}
+
+// ExecuteContext is Execute under a context; see RunContext for the
+// cancellation contract.
+func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error) {
 	res := &Result{Plan: p, IdealSpeedup: float64(p.Segments)}
-	golden, bounds := engine.RunWithBoundariesEngine(p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables)
+	golden, bounds, goldenPos, err := engine.RunWithBoundariesEngineContext(ctx, p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables, 0)
+	if err != nil {
+		// Aborted before any segment ran: report the golden execution's
+		// own position as whole-input progress.
+		return nil, &Aborted{
+			Cause: fmt.Errorf("golden execution: %w", err),
+			Segments: []SegmentProgress{
+				{Index: 0, Start: 0, End: len(input), Pos: goldenPos},
+			},
+		}
+	}
 	res.Golden = golden
 	res.BaselineCycles = Baseline(len(input), len(golden.Reports))
 	if err := p.CheckCapacity(); err != nil {
@@ -128,12 +162,15 @@ func (p *Plan) Execute(input []byte) (*Result, error) {
 	// parallel one (sched.go, the default) also overlaps the segments'
 	// wall-clock simulation the way the hardware overlaps its half-cores.
 	pool := p.newFlowPool(p.Cfg.Workers)
+	defer pool.close() // always drained, even on abort: no worker leaks
 	if p.Cfg.SegmentParallel {
-		p.executeParallel(segs, input, bounds, pool)
+		p.executeParallel(ctx, segs, input, bounds, pool)
 	} else {
-		p.executeSerial(segs, input, bounds, pool)
+		p.executeSerial(ctx, segs, input, bounds, pool)
 	}
-	pool.close()
+	if err := abortError(segs, ctx.Err()); err != nil {
+		return nil, err
+	}
 	res.RawTotalCycles = segs[len(segs)-1].KnownAt
 	res.TotalCycles = res.RawTotalCycles
 	if res.TotalCycles > res.BaselineCycles {
@@ -230,6 +267,10 @@ func (p *Plan) buildSegments(input []byte, bounds []engine.Boundary) []*segmentR
 // (post-rerun under speculation); prevKnown is the predecessor's KnownAt (0
 // for segment 0). Returns — and records — this segment's KnownAt.
 func (p *Plan) chainSegment(seg *segmentResult, next *segmentResult, done, prevKnown ap.Cycles) ap.Cycles {
+	if err := p.Cfg.fire(faultinject.TruthPublish, seg.Index, -1); err != nil {
+		seg.err = err
+		return 0 // callers check seg.err and never use this KnownAt
+	}
 	aliveFlows := 0
 	for _, f := range seg.flows {
 		if f.alive {

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+	"pap/internal/faultinject"
 )
 
 // Cross-segment scheduler: the paper's machine model runs the k input
@@ -54,6 +58,7 @@ type truthCell struct {
 	progress ap.Cycles // monotone lower bound on the final knownAt
 	known    bool
 	knownAt  ap.Cycles // final KnownAt, valid once known
+	aborted  bool      // publisher died without resolving; truth never arrives
 }
 
 func newTruthCell() *truthCell {
@@ -84,23 +89,39 @@ func (t *truthCell) resolve(knownAt ap.Cycles) {
 	t.mu.Unlock()
 }
 
-// waitKnown blocks until the final KnownAt is published.
-func (t *truthCell) waitKnown() ap.Cycles {
+// abort marks the cell as never-resolving and wakes every waiter; a no-op
+// once the cell is resolved. Every segment goroutine aborts its own cell
+// on exit (deferred), so a cancelled, failed, or panicked publisher can
+// never strand a waiting successor.
+func (t *truthCell) abort() {
+	t.mu.Lock()
+	if !t.known {
+		t.aborted = true
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// waitKnown blocks until the final KnownAt is published, or the publisher
+// aborts (ok = false: the truth will never arrive).
+func (t *truthCell) waitKnown() (knownAt ap.Cycles, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for !t.known {
+	for !t.known && !t.aborted {
 		t.cond.Wait()
 	}
-	return t.knownAt
+	return t.knownAt, t.known
 }
 
 // waitDecidable blocks until the FIV question at modelled time c is
 // decidable: either the truth is known (exact comparison), or the
-// publisher's progress guarantees the FIV cannot arrive by c.
+// publisher's progress guarantees the FIV cannot arrive by c, or the
+// publisher aborted (the FIV then never arrives; the caller's own round
+// loop notices the run abort at its next boundary).
 func (t *truthCell) waitDecidable(c ap.Cycles) (knownAt ap.Cycles, known bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for !t.known && t.progress+ap.FIVTransferCycles <= c {
+	for !t.known && !t.aborted && t.progress+ap.FIVTransferCycles <= c {
 		t.cond.Wait()
 	}
 	return t.knownAt, t.known
@@ -148,56 +169,46 @@ func (p *Plan) finishFIV(seg *segmentResult, fivAt ap.Cycles) {
 		return
 	}
 	if seg.Cycles >= fivAt {
+		if err := p.Cfg.fire(faultinject.FIVTransfer, seg.Index, -1); err != nil {
+			seg.err = err
+			return
+		}
 		applyFIV(seg)
 	}
 }
 
+// guardSegment is the panic-recovery boundary of one segment's execution:
+// it runs body and converts a panic — engine bug, injected fault — into an
+// error on the segment, annotated with the segment's progress and, via the
+// panic value (faultinject.InjectedPanic), the offending seed. The run
+// then aborts cleanly instead of crashing the process, with all other
+// segments drained and no goroutine or pool worker leaked.
+func (p *Plan) guardSegment(seg *segmentResult, body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			seg.err = fmt.Errorf("core: segment %d panicked at pos %d (%d rounds): %v\n%s",
+				seg.Index, seg.progress(), seg.Rounds, r, debug.Stack())
+		}
+	}()
+	body()
+}
+
 // executeSerial runs segments one after another — the original scheduler,
 // kept (Config.SegmentParallel = false) as the determinism baseline the
-// parallel scheduler is checked against.
-func (p *Plan) executeSerial(segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
+// parallel scheduler is checked against. The first segment error (context
+// cancellation, fault, recovered panic) stops the chain; later segments
+// keep their zero progress for the abort report.
+func (p *Plan) executeSerial(ctx context.Context, segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
 	var prevKnown ap.Cycles
 	for j, seg := range segs {
 		fivAt := maxCycles
 		if j > 0 && !p.Cfg.DisableFIV {
 			fivAt = prevKnown + ap.FIVTransferCycles
 		}
-		p.runSegmentRounds(seg, input, pool, serialFIV{fivAt})
-		done := seg.Cycles
-		if p.Cfg.Speculate && j > 0 {
-			done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles, pool)
-		}
-		var next *segmentResult
-		if j+1 < len(segs) {
-			next = segs[j+1]
-		}
-		prevKnown = p.chainSegment(seg, next, done, prevKnown)
-	}
-}
-
-// executeParallel runs every segment on its own goroutine from t=0,
-// chaining truth through truthCells. Segment j resolves its cell the moment
-// chainSegment computes its KnownAt; segment j+1's in-loop FIV gate fires on
-// receipt. All goroutines share the one bounded flow pool.
-func (p *Plan) executeParallel(segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
-	cells := make([]*truthCell, len(segs))
-	for j := range cells {
-		cells[j] = newTruthCell()
-	}
-	var wg sync.WaitGroup
-	for j, seg := range segs {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var pred *truthCell
-			if j > 0 {
-				pred = cells[j-1]
-			}
-			p.runSegmentRounds(seg, input, pool, &pipelineFIV{pred: pred, self: cells[j]})
-			var prevKnown ap.Cycles
-			if j > 0 {
-				prevKnown = pred.waitKnown()
-				p.finishFIV(seg, prevKnown+ap.FIVTransferCycles)
+		p.guardSegment(seg, func() {
+			p.runSegmentRounds(ctx, seg, input, pool, serialFIV{fivAt})
+			if seg.err != nil {
+				return
 			}
 			done := seg.Cycles
 			if p.Cfg.Speculate && j > 0 {
@@ -207,7 +218,75 @@ func (p *Plan) executeParallel(segs []*segmentResult, input []byte, bounds []eng
 			if j+1 < len(segs) {
 				next = segs[j+1]
 			}
-			cells[j].resolve(p.chainSegment(seg, next, done, prevKnown))
+			prevKnown = p.chainSegment(seg, next, done, prevKnown)
+		})
+		if seg.err != nil {
+			return
+		}
+	}
+}
+
+// executeParallel runs every segment on its own goroutine from t=0,
+// chaining truth through truthCells. Segment j resolves its cell the moment
+// chainSegment computes its KnownAt; segment j+1's in-loop FIV gate fires on
+// receipt. All goroutines share the one bounded flow pool.
+//
+// Failure protocol: the first segment that errors cancels the run context,
+// so every sibling stops at its next round boundary, and every goroutine
+// aborts its own truth cell on exit (deferred), so no successor blocks on
+// a truth that will never be published. executeParallel always joins all
+// segment goroutines before returning — cancellation leaks nothing.
+func (p *Plan) executeParallel(ctx context.Context, segs []*segmentResult, input []byte, bounds []engine.Boundary, pool *flowPool) {
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	cells := make([]*truthCell, len(segs))
+	for j := range cells {
+		cells[j] = newTruthCell()
+	}
+	var wg sync.WaitGroup
+	for j, seg := range segs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cells[j].abort() // no-op when resolve already ran
+			var pred *truthCell
+			if j > 0 {
+				pred = cells[j-1]
+			}
+			p.guardSegment(seg, func() {
+				p.runSegmentRounds(runCtx, seg, input, pool, &pipelineFIV{pred: pred, self: cells[j]})
+				if seg.err != nil {
+					return
+				}
+				var prevKnown ap.Cycles
+				if j > 0 {
+					pk, ok := pred.waitKnown()
+					if !ok {
+						return // predecessor aborted; its error names the cause
+					}
+					prevKnown = pk
+					p.finishFIV(seg, prevKnown+ap.FIVTransferCycles)
+					if seg.err != nil {
+						return
+					}
+				}
+				done := seg.Cycles
+				if p.Cfg.Speculate && j > 0 {
+					done = p.runSpeculative(seg, input, bounds[j-1], prevKnown+ap.FIVTransferCycles, pool)
+				}
+				var next *segmentResult
+				if j+1 < len(segs) {
+					next = segs[j+1]
+				}
+				known := p.chainSegment(seg, next, done, prevKnown)
+				if seg.err != nil {
+					return
+				}
+				cells[j].resolve(known)
+			})
+			if seg.err != nil {
+				cancelRun()
+			}
 		}()
 	}
 	wg.Wait()

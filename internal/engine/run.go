@@ -1,11 +1,18 @@
 package engine
 
 import (
+	"context"
 	"slices"
 	"sort"
 
 	"pap/internal/nfa"
 )
+
+// ctxCheckEvery is the default symbol interval between context polls in
+// the *Context run variants: frequent enough that even slow automata
+// notice a deadline within microseconds, rare enough to keep the poll off
+// the hot per-symbol path.
+const ctxCheckEvery = 4096
 
 // Result summarises one sequential execution.
 type Result struct {
@@ -39,6 +46,36 @@ func RunEngine(n *nfa.NFA, input []byte, kind Kind, tab *Tables) Result {
 	return res
 }
 
+// RunEngineContext is RunEngine with cooperative cancellation: ctx.Err()
+// is polled every `every` symbols (<= 0 selects the default interval), so
+// the per-symbol inner loop stays check-free. On cancellation it returns
+// ctx's error together with the partial result and the number of symbols
+// processed before the poll observed the cancellation.
+func RunEngineContext(ctx context.Context, n *nfa.NFA, input []byte, kind Kind, tab *Tables, every int) (Result, int, error) {
+	if every <= 0 {
+		every = ctxCheckEvery
+	}
+	e := New(kind, n, tab)
+	var res Result
+	emit := func(r Report) { res.Reports = append(res.Reports, r) }
+	for i, sym := range input {
+		if i%every == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Transitions = e.Transitions()
+				return res, i, err
+			}
+		}
+		e.Step(sym, int64(i), emit)
+		l := e.FrontierLen()
+		if l > res.MaxFrontier {
+			res.MaxFrontier = l
+		}
+		res.SumFrontier += int64(l)
+	}
+	res.Transitions = e.Transitions()
+	return res, len(input), nil
+}
+
 // Boundary captures the golden execution state at one segment cut: the
 // segment starting at Pos sees Enabled as its true start frontier, produced
 // by the states in Fired firing on input[Pos-1].
@@ -57,12 +94,31 @@ func RunWithBoundaries(n *nfa.NFA, input []byte, cuts []int) (Result, []Boundary
 // RunWithBoundariesEngine is RunWithBoundaries with an explicit backend
 // kind and optional shared match tables.
 func RunWithBoundariesEngine(n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables) (Result, []Boundary) {
+	res, bounds, _, _ := RunWithBoundariesEngineContext(context.Background(), n, input, cuts, kind, tab, 0)
+	return res, bounds
+}
+
+// RunWithBoundariesEngineContext is RunWithBoundariesEngine with the same
+// cooperative cancellation contract as RunEngineContext: ctx is polled
+// every `every` symbols (<= 0 selects the default) and the partial result,
+// with the number of symbols processed, is returned alongside ctx's error
+// on cancellation.
+func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables, every int) (Result, []Boundary, int, error) {
+	if every <= 0 {
+		every = ctxCheckEvery
+	}
 	e := New(kind, n, tab)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	bounds := make([]Boundary, 0, len(cuts))
 	ci := 0
 	for i, sym := range input {
+		if i%every == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Transitions = e.Transitions()
+				return res, bounds, i, err
+			}
+		}
 		e.Step(sym, int64(i), emit)
 		l := e.FrontierLen()
 		if l > res.MaxFrontier {
@@ -79,7 +135,7 @@ func RunWithBoundariesEngine(n *nfa.NFA, input []byte, cuts []int, kind Kind, ta
 		}
 	}
 	res.Transitions = e.Transitions()
-	return res, bounds
+	return res, bounds, len(input), nil
 }
 
 // sortedIDs sorts ids in place and returns them.

@@ -103,6 +103,19 @@ type streamWriteResponse struct {
 	Offset  int64       `json:"offset"`
 }
 
+// abortResponse is the 503 body for a match or stream write that was
+// cancelled mid-execution: the error, the metrics reason label, and
+// whatever partial progress the execution pipeline reported. Stream writes
+// additionally carry the matches completed and the offset reached before
+// the stop, so callers can resume from exactly there.
+type abortResponse struct {
+	Error    string                `json:"error"`
+	Reason   string                `json:"reason"`
+	Progress []pap.SegmentProgress `json:"progress,omitempty"`
+	Matches  []matchJSON           `json:"matches,omitempty"`
+	Offset   int64                 `json:"offset,omitempty"`
+}
+
 // ---- plumbing ----
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -150,12 +163,73 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, fn func()) boo
 	case errors.Is(err, ErrPoolClosed):
 		writeErr(w, http.StatusServiceUnavailable, "server draining")
 	case errors.Is(err, context.DeadlineExceeded):
+		s.countCancellation("deadline")
 		writeErr(w, http.StatusServiceUnavailable,
 			"match timed out after %s", s.cfg.MatchTimeout)
 	default: // client went away (context canceled) or similar
+		s.countCancellation("client_gone")
 		writeErr(w, http.StatusServiceUnavailable, "request aborted: %v", err)
 	}
 	return false
+}
+
+// execContext derives the execution deadline for one match or stream
+// write: r.Context() bounded by the tightest of MatchTimeout, the
+// server-wide MaxMatchDuration cap, and the request's own timeout_ms
+// parameter. The returned context is what the matching pipeline polls, so
+// whichever bound fires first stops the run at its next cancellation
+// point. An invalid timeout_ms yields an error for a 400.
+func (s *Server) execContext(r *http.Request, q map[string][]string) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.MatchTimeout
+	if s.cfg.MaxMatchDuration > 0 && s.cfg.MaxMatchDuration < d {
+		d = s.cfg.MaxMatchDuration
+	}
+	if vs := q["timeout_ms"]; len(vs) > 0 && vs[0] != "" {
+		ms, err := strconv.Atoi(vs[0])
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("timeout_ms must be a positive integer, got %q", vs[0])
+		}
+		if t := time.Duration(ms) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// abortReason classifies a cancelled execution for the
+// papd_match_cancellations_total reason label.
+func abortReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return "client_gone"
+}
+
+// writeAbort translates a cancelled execution into 503 with partial
+// progress and counts it. extra, when non-nil, decorates the response
+// (stream writes attach the matches and offset reached before the stop).
+func (s *Server) writeAbort(w http.ResponseWriter, err error, extra func(*abortResponse)) {
+	reason := abortReason(err)
+	s.countCancellation(reason)
+	resp := abortResponse{Error: err.Error(), Reason: reason}
+	var ab *pap.AbortError
+	if errors.As(err, &ab) {
+		resp.Progress = ab.Progress
+	}
+	if extra != nil {
+		extra(&resp)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+// isAbort reports whether err is a cancellation (as opposed to, say, a bad
+// parallel configuration): an *pap.AbortError or a bare context error.
+func isAbort(err error) bool {
+	var ab *pap.AbortError
+	return errors.As(err, &ab) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
 }
 
 func toMatchJSON(ms []pap.Match) []matchJSON {
@@ -347,6 +421,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	execCtx, cancelExec, err := s.execContext(r, q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancelExec()
 
 	var (
 		resp     matchResponse
@@ -355,11 +435,17 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	switch mode {
 	case "sequential":
+		var ms []pap.Match
 		if !s.dispatch(w, r, func() {
-			resp.Matches = toMatchJSON(e.Automaton.MatchWith(payload, eng))
+			ms, matchErr = e.Automaton.MatchWithContext(execCtx, payload, eng)
 		}) {
 			return
 		}
+		if matchErr != nil {
+			s.writeAbort(w, matchErr, nil)
+			return
+		}
+		resp.Matches = toMatchJSON(ms)
 		s.countEngineSteps(eng, len(payload))
 	case "parallel":
 		cfg, err := parseParallelConfig(q, s.cfg.SerialSegments)
@@ -370,11 +456,15 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		cfg.Engine = eng
 		var rep *pap.Report
 		if !s.dispatch(w, r, func() {
-			rep, matchErr = e.Automaton.MatchParallel(payload, cfg)
+			rep, matchErr = e.Automaton.MatchParallelContext(execCtx, payload, cfg)
 		}) {
 			return
 		}
 		if matchErr != nil {
+			if isAbort(matchErr) {
+				s.writeAbort(w, matchErr, nil)
+				return
+			}
 			writeErr(w, http.StatusUnprocessableEntity, "parallel match: %v", matchErr)
 			return
 		}
@@ -475,6 +565,12 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	execCtx, cancelExec, err := s.execContext(r, r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancelExec()
 	var (
 		ms        []pap.Match
 		offset    int64
@@ -482,11 +578,24 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 		writeErr2 error
 	)
 	if !s.dispatch(w, r, func() {
-		ms, offset, switches, writeErr2 = sess.Write(chunk)
+		ms, offset, switches, writeErr2 = sess.WriteContext(execCtx, chunk)
 	}) {
 		return
 	}
 	if writeErr2 != nil {
+		if isAbort(writeErr2) {
+			// The symbols before the stop were consumed: account for them
+			// and hand back their matches with the resume offset.
+			if e, err := s.reg.Get(sess.Automaton); err == nil {
+				s.countMatches(e, len(ms))
+			}
+			s.engineSwitches.Add(switches)
+			s.writeAbort(w, writeErr2, func(resp *abortResponse) {
+				resp.Matches = toMatchJSON(ms)
+				resp.Offset = offset
+			})
+			return
+		}
 		writeErr(w, http.StatusNotFound, "%v", writeErr2)
 		return
 	}

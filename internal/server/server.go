@@ -38,6 +38,13 @@ type Config struct {
 	// MatchTimeout bounds one match or stream write, queueing included
 	// (default 30s).
 	MatchTimeout time.Duration
+	// MaxMatchDuration, when > 0, caps the execution deadline of every
+	// match and stream write — including ones that ask for a longer
+	// per-request timeout_ms — so a single adversarial request (a
+	// pathological enumeration input, say) can never hold a worker
+	// longer than the operator allows. 0 leaves MatchTimeout as the only
+	// bound.
+	MaxMatchDuration time.Duration
 	// MaxBodyBytes bounds request payloads (default 16 MiB).
 	MaxBodyBytes int64
 	// StreamIdleTimeout expires streaming sessions with no writes for this
@@ -95,6 +102,7 @@ type Server struct {
 	latency        map[string]*Histogram
 	poolRejected   *Counter
 	streamBytes    *Counter
+	cancellations  map[string]*Counter
 	speedupHist    *Histogram
 	engineSteps    [3]*Counter // indexed by pap.EngineKind
 	engineSwitches *Counter
@@ -129,6 +137,12 @@ func New(cfg Config) *Server {
 	}
 	s.engineSwitches = m.Counter("papd_engine_switches_total",
 		"Sparse-dense representation switches made by adaptive engines.", "")
+	s.cancellations = make(map[string]*Counter)
+	for _, reason := range []string{"deadline", "client_gone"} {
+		s.cancellations[reason] = m.Counter("papd_match_cancellations_total",
+			"Matches and stream writes cancelled before completion, by reason.",
+			fmt.Sprintf("reason=%q", reason))
+	}
 	m.GaugeFunc("papd_worker_pool_workers", "Size of the matching worker pool.", "",
 		func() float64 { return float64(s.pool.Workers()) })
 	m.GaugeFunc("papd_worker_pool_active", "Matching tasks currently executing.", "",
@@ -206,6 +220,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.pool.Close()
 	s.sessions.Stop()
 	return err
+}
+
+// countCancellation increments papd_match_cancellations_total for the
+// given reason ("deadline" or "client_gone"). Both series are registered
+// at startup so dashboards see explicit zeros before the first abort.
+func (s *Server) countCancellation(reason string) {
+	if c, ok := s.cancellations[reason]; ok {
+		c.Inc()
+	}
 }
 
 // instrument wraps h with request counting and latency observation under

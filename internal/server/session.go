@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -71,6 +72,32 @@ func (s *Session) Write(chunk []byte) ([]pap.Match, int64, int64, error) {
 	s.lastSwtch = sw
 	s.lastUsed = time.Now().UTC()
 	return out, s.stream.Offset(), dsw, nil
+}
+
+// WriteContext is Write under a context: a cancelled or expired ctx stops
+// the write mid-chunk at the stream's next cancellation point. Symbols
+// consumed before the stop are committed — the session offset advances and
+// their matches are returned alongside the error — so a caller that
+// retries resumes exactly after the last processed symbol. The session
+// mutex is held for the duration, so an expiry racing an in-flight write
+// either waits for it or closes the session before it starts; a write
+// never lands on a closed stream.
+func (s *Session) WriteContext(ctx context.Context, chunk []byte) ([]pap.Match, int64, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, 0, ErrSessionNotFound
+	}
+	ms, err := s.stream.WriteContext(ctx, chunk)
+	out := make([]pap.Match, len(ms))
+	copy(out, ms) // the stream reuses its slice; callers get a stable copy
+	s.matches += int64(len(ms))
+	s.writes++
+	sw := s.stream.EngineSwitches()
+	dsw := sw - s.lastSwtch
+	s.lastSwtch = sw
+	s.lastUsed = time.Now().UTC()
+	return out, s.stream.Offset(), dsw, err
 }
 
 // Info snapshots the session state.

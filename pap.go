@@ -38,6 +38,7 @@
 package pap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -286,6 +287,27 @@ func (a *Automaton) MatchWith(input []byte, k EngineKind) []Match {
 	return toMatches(engine.DedupeReports(res.Reports))
 }
 
+// MatchContext is Match under a context: a cancelled or expired ctx stops
+// the run promptly (the context is polled at coarse symbol intervals, off
+// the per-symbol hot path) and returns ctx's error wrapped in *AbortError
+// with the input offset reached. It is equivalent to
+// MatchWithContext(ctx, input, EngineAuto).
+func (a *Automaton) MatchContext(ctx context.Context, input []byte) ([]Match, error) {
+	return a.MatchWithContext(ctx, input, EngineAuto)
+}
+
+// MatchWithContext is MatchContext on an explicit execution backend.
+func (a *Automaton) MatchWithContext(ctx context.Context, input []byte, k EngineKind) ([]Match, error) {
+	res, pos, err := engine.RunEngineContext(ctx, a.n, input, k.toKind(), a.tables(), 0)
+	if err != nil {
+		return nil, &AbortError{
+			Cause:    err,
+			Progress: []SegmentProgress{{Index: 0, Start: 0, End: len(input), Pos: pos}},
+		}
+	}
+	return toMatches(engine.DedupeReports(res.Reports)), nil
+}
+
 func toMatches(reports []engine.Report) []Match {
 	out := make([]Match, len(reports))
 	for i, r := range reports {
@@ -406,11 +428,65 @@ type Report struct {
 	Stats   RunStats
 }
 
+// SegmentProgress is how far one input segment had advanced when a
+// cancelled match stopped. Pos is the next unprocessed input offset:
+// Pos == Start means the segment never started, Pos == End means it had
+// finished. Sequential matches report one segment covering the input.
+type SegmentProgress struct {
+	Index  int `json:"index"`
+	Start  int `json:"start"`
+	End    int `json:"end"`
+	Pos    int `json:"pos"`
+	Rounds int `json:"rounds"`
+}
+
+// AbortError is returned by the *Context match variants when a match
+// stops before completion — context cancellation or deadline, or an
+// internal failure converted to an error at a segment boundary. It wraps
+// the cause (errors.Is(err, context.DeadlineExceeded) sees through it)
+// and reports per-segment progress, which papd surfaces as
+// 503-with-partial-progress.
+type AbortError struct {
+	Cause    error
+	Progress []SegmentProgress
+}
+
+func (e *AbortError) Error() string {
+	done, total := 0, 0
+	for _, s := range e.Progress {
+		done += s.Pos - s.Start
+		total += s.End - s.Start
+	}
+	return fmt.Sprintf("pap: match aborted after %d/%d bytes across %d segments: %v",
+		done, total, len(e.Progress), e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
+
 // MatchParallel matches input using the PAP parallelization and returns
 // the exact match set together with modelled AP statistics.
 func (a *Automaton) MatchParallel(input []byte, cfg Config) (*Report, error) {
-	res, err := core.Run(a.n, input, cfg.toCore())
+	return a.MatchParallelContext(context.Background(), input, cfg)
+}
+
+// MatchParallelContext is MatchParallel under a context: a cancelled or
+// expired ctx stops every segment at its next TDM round boundary (the
+// per-symbol inner loops stay check-free) and returns ctx's error wrapped
+// in *AbortError with per-segment progress. No goroutine or pooled flow
+// worker outlives the call.
+func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg Config) (*Report, error) {
+	res, err := core.RunContext(ctx, a.n, input, cfg.toCore())
 	if err != nil {
+		var ab *core.Aborted
+		if errors.As(err, &ab) {
+			out := &AbortError{Cause: ab.Cause}
+			for _, s := range ab.Segments {
+				out.Progress = append(out.Progress, SegmentProgress{
+					Index: s.Index, Start: s.Start, End: s.End, Pos: s.Pos, Rounds: s.Rounds,
+				})
+			}
+			return nil, out
+		}
 		return nil, err
 	}
 	if err := res.CheckCorrect(); err != nil {

@@ -1,8 +1,14 @@
 package pap
 
 import (
+	"context"
+	"errors"
+
 	"pap/internal/engine"
 )
+
+// ErrStreamClosed is returned by Stream.WriteContext after Close.
+var ErrStreamClosed = errors.New("pap: stream closed")
 
 // Stream matches an automaton against input arriving incrementally —
 // network captures, log tails, anything that cannot be buffered whole.
@@ -29,6 +35,7 @@ type Stream struct {
 	scratch []Match
 	reports []engine.Report
 	emit    engine.EmitFunc
+	closed  bool
 }
 
 // StreamOption configures NewStream.
@@ -68,7 +75,12 @@ func (s *Stream) newEngine() engine.Engine {
 // Write, and no deduplication opportunity can straddle a chunk boundary.
 // (Two distinct reporting states carrying the same code still yield two
 // matches at the same offset, in Match and Write alike.)
+// Writing to a closed Stream is a no-op returning nil (use WriteContext
+// for an explicit ErrStreamClosed).
 func (s *Stream) Write(chunk []byte) []Match {
+	if s.closed {
+		return nil
+	}
 	s.scratch = s.scratch[:0]
 	s.reports = s.reports[:0]
 	for _, sym := range chunk {
@@ -79,6 +91,62 @@ func (s *Stream) Write(chunk []byte) []Match {
 		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
 	}
 	return s.scratch
+}
+
+// streamCtxEvery is the symbol interval between context polls in
+// WriteContext — coarse enough to stay off the hot per-symbol path.
+const streamCtxEvery = 4096
+
+// WriteContext is Write under a context: the chunk is consumed in
+// coarse-grained slices with ctx polled between them, and a cancelled or
+// expired ctx stops mid-chunk with ctx's error wrapped in *AbortError
+// (Progress reports the global stream offsets covered by this chunk and
+// the position reached). Symbols before the stop are consumed — Offset
+// advances — and their matches are returned alongside the error, so a
+// caller that retries resumes exactly after the last processed symbol.
+// Writing to a closed stream returns ErrStreamClosed.
+func (s *Stream) WriteContext(ctx context.Context, chunk []byte) ([]Match, error) {
+	if s.closed {
+		return nil, ErrStreamClosed
+	}
+	start := s.offset
+	s.scratch = s.scratch[:0]
+	s.reports = s.reports[:0]
+	var ctxErr error
+	for i, sym := range chunk {
+		if i%streamCtxEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break
+			}
+		}
+		s.eng.Step(sym, s.offset, s.emit)
+		s.offset++
+	}
+	for _, r := range engine.DedupeReports(s.reports) {
+		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
+	}
+	if ctxErr != nil {
+		return s.scratch, &AbortError{
+			Cause: ctxErr,
+			Progress: []SegmentProgress{{
+				Index: 0,
+				Start: int(start),
+				End:   int(start) + len(chunk),
+				Pos:   int(s.offset),
+			}},
+		}
+	}
+	return s.scratch, nil
+}
+
+// Close releases the stream: subsequent Write calls return nil and
+// WriteContext returns ErrStreamClosed. Close is idempotent and always
+// returns nil (the error return mirrors io.Closer). Reset reopens a
+// closed stream.
+func (s *Stream) Close() error {
+	s.closed = true
+	return nil
 }
 
 // Offset returns the number of bytes consumed so far.
@@ -100,9 +168,11 @@ func (s *Stream) EngineSwitches() int64 {
 	return 0
 }
 
-// Reset rewinds the stream to offset 0 and the start configuration.
+// Reset rewinds the stream to offset 0 and the start configuration,
+// reopening it if it was closed.
 func (s *Stream) Reset() {
 	s.eng = s.newEngine()
 	s.offset = 0
 	s.scratch = s.scratch[:0]
+	s.closed = false
 }
