@@ -6,8 +6,8 @@ GO ?= go
 # durably improves; don't lower it casually.
 COVER_MIN ?= 85.0
 
-.PHONY: all build test vet race fuzz bench bench-segments experiments \
-	report serve clean conformance cover chaos vulncheck
+.PHONY: all build test vet race fuzz bench bench-segments bench-prefilter \
+	experiments report serve clean conformance cover chaos vulncheck
 
 all: build vet test
 
@@ -73,6 +73,13 @@ bench:
 # BENCH_segments.json; the parallel win scales with real cores).
 bench-segments:
 	$(GO) test -run xxx -bench BenchmarkExecuteSegments -benchmem -count 3 ./internal/core/
+
+# Prefilter regimes and lazy-DFA density rows (the numbers behind
+# BENCH_prefilter.json and the lazydfa/meta rows of BENCH_engines.json),
+# then the 5x quiet-regime throughput gate.
+bench-prefilter:
+	$(GO) test -run xxx -bench 'PrefilterRegime|LazyDensity' ./internal/engine/
+	PAP_BENCH_GUARD=1 $(GO) test -run TestQuietRegimeGuard -v ./internal/engine/
 
 # Regenerate every table and figure at the default reduced scale.
 experiments:

@@ -12,7 +12,8 @@
 // Each -preload flag registers a regex ruleset at startup from a file of
 // one pattern per line (blank lines and #-comment lines skipped);
 // -engine sets the default execution backend the preloaded rulesets are
-// served with (auto, sparse or bit — requests may override per call).
+// served with (see pap.EngineKindNames: auto, sparse, bit, lazydfa,
+// meta — requests may override per call).
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"pap"
 	"pap/internal/server"
 )
 
@@ -94,7 +96,9 @@ func main() {
 		streamIdle = flag.Duration("stream-idle", 10*time.Minute, "expire streaming sessions idle this long (<0 disables)")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request payload bytes")
 		drainWait  = flag.Duration("drain", 15*time.Second, "shutdown drain deadline")
-		engine     = flag.String("engine", "auto", "default execution backend for preloaded rulesets: auto, sparse or bit")
+		engine     = flag.String("engine", "auto",
+			"default execution backend for preloaded rulesets: "+
+				strings.Join(pap.EngineKindNames(), ", "))
 		serialSegs = flag.Bool("serial-segments", false, "default parallel-mode matches to the serial cross-segment scheduler")
 		preloads   preloadFlag
 	)

@@ -35,7 +35,8 @@ func main() {
 		compress  = flag.Bool("compress", true, "apply common-prefix compression")
 		quiet     = flag.Bool("quiet", false, "suppress per-match output")
 		maxPrint  = flag.Int("max-print", 20, "print at most this many matches")
-		engName   = flag.String("engine", "auto", "execution backend: auto, sparse or bit")
+		engName   = flag.String("engine", "auto",
+			"execution backend: "+strings.Join(pap.EngineKindNames(), ", "))
 	)
 	flag.Parse()
 

@@ -20,7 +20,10 @@ import (
 var segmentCounts = []int{2, 3, 7, 16}
 
 // engineKinds are the execution backends every case is checked on.
-var engineKinds = []engine.Kind{engine.SparseKind, engine.BitKind, engine.Auto}
+var engineKinds = []engine.Kind{
+	engine.SparseKind, engine.BitKind, engine.Auto,
+	engine.LazyDFAKind, engine.MetaKind,
+}
 
 // Case is one generated conformance check: a random automaton and an
 // adversarial input, fully determined by Seed.
@@ -50,6 +53,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 	oracle := OracleRun(c.NFA, c.Input)
 	sub := rand.New(rand.NewSource(c.Seed ^ 0x5eedc0de))
 	if inv, d := checkEngineRuns(c, oracle); inv != "" {
+		return inv, d
+	}
+	if inv, d := checkPrefilteredMeta(c, oracle, sub); inv != "" {
 		return inv, d
 	}
 	if inv, d := checkSegmented(c, oracle); inv != "" {
@@ -110,6 +116,77 @@ func checkEngineRuns(c *Case, oracle []engine.Report) (string, string) {
 				fmt.Sprintf("transitions %d, %s %d",
 					e.Transitions(), engineKinds[0], engines[0].Transitions())
 		}
+	}
+	return "", ""
+}
+
+// checkPrefilteredMeta asserts the meta stack's prefilter never changes
+// observable behaviour. Three sub-checks:
+//
+//  1. Class-skip path (match-any run loop, no literal scanning): every
+//     observable — reports, transition count, frontier statistics — is
+//     bit-identical to the sparse reference, because a byte outside the
+//     start class stepped on a dead frontier provably fires nothing.
+//  2. Literal-skip path (RunOpts.LiteralPrefilter, the pap Match* mode):
+//     the report set equals the oracle's. Only report-exactness is
+//     claimed here — literal skipping may jump bytes that would have
+//     fired non-reporting baseline work.
+//  3. Chunked-stream skip, exactly as Stream.Write performs it: a Meta
+//     engine fed in random chunks with dead-frontier class skips must
+//     reproduce the oracle's reports, including literals that straddle
+//     chunk boundaries.
+func checkPrefilteredMeta(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	tab := engine.NewTables(c.NFA)
+	sp := engine.RunEngine(c.NFA, c.Input, engine.SparseKind, tab)
+
+	cls := engine.RunEngine(c.NFA, c.Input, engine.MetaKind, tab)
+	if d := diffReports(oracle, cls.Reports); d != "" {
+		return "prefilter-class/reports", d
+	}
+	if cls.Transitions != sp.Transitions {
+		return "prefilter-class/transitions",
+			fmt.Sprintf("meta %d, sparse %d", cls.Transitions, sp.Transitions)
+	}
+	if cls.MaxFrontier != sp.MaxFrontier || cls.SumFrontier != sp.SumFrontier {
+		return "prefilter-class/frontier",
+			fmt.Sprintf("meta max %d sum %d, sparse max %d sum %d",
+				cls.MaxFrontier, cls.SumFrontier, sp.MaxFrontier, sp.SumFrontier)
+	}
+
+	lit := engine.RunEngineOpts(c.NFA, c.Input, engine.MetaKind, tab,
+		engine.RunOpts{LiteralPrefilter: true})
+	if d := diffReports(oracle, lit.Reports); d != "" {
+		return "prefilter-literal/reports", d
+	}
+
+	e := engine.New(engine.MetaKind, c.NFA, tab)
+	pf := engine.PrefilterOf(e)
+	var all, chunk []engine.Report
+	emit := func(r engine.Report) { chunk = append(chunk, r) }
+	pos := 0
+	for pos < len(c.Input) {
+		n := 1 + rng.Intn(32)
+		if pos+n > len(c.Input) {
+			n = len(c.Input) - pos
+		}
+		chunk = chunk[:0]
+		piece := c.Input[pos : pos+n]
+		for i := 0; i < len(piece); i++ {
+			if pf != nil && e.Dead() {
+				if j := pf.Next(piece, i); j > i {
+					i = j
+					if i >= len(piece) {
+						break
+					}
+				}
+			}
+			e.Step(piece[i], int64(pos+i), emit)
+		}
+		pos += n
+		all = append(all, engine.DedupeReports(chunk)...)
+	}
+	if d := diffReports(oracle, all); d != "" {
+		return "prefilter-stream-chunks/meta", d
 	}
 	return "", ""
 }
@@ -383,6 +460,7 @@ func diffResultMetrics(a, b *core.Result) string {
 		{"ReportIncrease", a.ReportIncrease, b.ReportIncrease},
 		{"TransitionRatio", a.TransitionRatio, b.TransitionRatio},
 		{"MispredictedSegments", a.MispredictedSegments, b.MispredictedSegments},
+		{"PrefilterSkipped", a.PrefilterSkipped, b.PrefilterSkipped},
 		{"CapacityNote", a.CapacityNote, b.CapacityNote},
 	}
 	for _, s := range scalars {
@@ -418,6 +496,7 @@ func parallelConfig(rng *rand.Rand, toggled bool) core.Config {
 		cfg.DisableConvergence = rng.Intn(2) == 0
 		cfg.DisableDeactivation = rng.Intn(2) == 0
 		cfg.DisableFIV = rng.Intn(2) == 0
+		cfg.DisablePrefilter = rng.Intn(2) == 0
 		cfg.AbsorbDeactivation = rng.Intn(2) == 0
 		if rng.Intn(3) == 0 {
 			cfg.Speculate = true

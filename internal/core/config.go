@@ -24,6 +24,11 @@ import (
 
 	"pap/internal/ap"
 	"pap/internal/engine"
+
+	// Link the lazy-DFA backend so engine.LazyDFAKind and engine.MetaKind
+	// are constructible on every core execution path (the backend
+	// registers itself via engine.RegisterLazyDFA in its init).
+	_ "pap/internal/engine/lazydfa"
 	"pap/internal/faultinject"
 )
 
@@ -112,6 +117,7 @@ type Config struct {
 	DisableConvergence  bool // skip §3.3.3 checks
 	DisableDeactivation bool // skip §3.3.4 checks
 	DisableFIV          bool // never send Flow Invalidation Vectors
+	DisablePrefilter    bool // never skip dead-frontier input regions
 
 	// Fault, when non-nil, is fired at every instrumented pipeline point
 	// (plan build, each TDM round boundary, FIV transfers, truth
@@ -162,7 +168,7 @@ func (c *Config) validate() error {
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.Engine > engine.BitKind {
+	if c.Engine > engine.MaxKind {
 		return fmt.Errorf("core: unknown engine kind %d", c.Engine)
 	}
 	return nil

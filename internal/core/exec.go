@@ -9,6 +9,7 @@ import (
 	"pap/internal/engine"
 	"pap/internal/faultinject"
 	"pap/internal/nfa"
+	"pap/internal/prefilter"
 )
 
 // attribEntry maps reports of a flow in one connected component to the
@@ -33,6 +34,7 @@ type flowRun struct {
 	reports []engine.Report
 	symbols int64 // symbols actually processed (early kills process fewer)
 	trans   int64
+	skipped int64 // symbols covered by prefilter skips (subset of symbols)
 }
 
 // segmentResult aggregates one segment's functional and timing outcomes.
@@ -59,6 +61,8 @@ type segmentResult struct {
 	EventsEmitted int64 // all output-buffer entries, true and false paths
 	Transitions   int64 // successor traversals (energy proxy, §5.3)
 	EngSwitches   int64 // adaptive-engine representation switches (Auto only)
+	PrefilterSkip int64 // input bytes covered by prefilter skips (simulator
+	// fast path; the modelled cycles still charge every covered symbol)
 
 	flows    []*flowRun
 	svc      *ap.SVC // flow context store (one SVC per replica)
@@ -340,6 +344,9 @@ func (p *Plan) runSegmentRounds(ctx context.Context, seg *segmentResult, input [
 		enumTrans += f.trans
 		enumEvents += int64(len(f.reports))
 	}
+	for _, f := range seg.flows {
+		seg.PrefilterSkip += f.skipped
+	}
 	dup := 0.0
 	if seg.Rounds > 0 {
 		dup = float64(seg.FlowRounds) / float64(seg.Rounds)
@@ -370,21 +377,46 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	var trace []snapshot
 	isASG := f.asg && f.id == 0
 	probe := 0
-	for i := 0; i < k; i++ {
+	pf := p.prefilter()
+	skipOK := !firstRound && !p.Cfg.DisablePrefilter
+	for i := 0; i < k; {
+		// Dead-frontier fast paths, both bit-identical to stepping: an
+		// enumeration flow (baseline off) can never revive, so the round's
+		// remainder is inert; a baseline flow can only revive on a
+		// start-class byte, which the exact class scanner finds. Every
+		// covered symbol is still charged to f.symbols, so modelled
+		// ap.Cycles are unchanged. Round 0 is excluded so the deactivation
+		// probe schedule (and its Deactivations counts) stays identical.
+		if skipOK && e.Dead() {
+			if !f.asg {
+				f.symbols += int64(k - i)
+				f.skipped += int64(k - i)
+				break
+			}
+			if pf != nil {
+				if j := pf.NextIn(input, pos+i, pos+k) - pos; j > i {
+					f.symbols += int64(j - i)
+					f.skipped += int64(j - i)
+					i = j
+					continue
+				}
+			}
+		}
 		e.Step(input[pos+i], int64(pos+i), emit)
 		f.symbols++
-		if !firstRound || (i+1)%deactivationProbe != 0 {
+		i++
+		if !firstRound || i%deactivationProbe != 0 {
 			continue
 		}
 		if isASG {
 			trace = append(trace, snapshot{
-				after:    i + 1,
+				after:    i,
 				fp:       e.Fingerprint(),
 				frontier: frontierOf(e),
 			})
 			continue
 		}
-		if !p.Cfg.DisableDeactivation && probe < len(asgTrace) && asgTrace[probe].after == i+1 {
+		if !p.Cfg.DisableDeactivation && probe < len(asgTrace) && asgTrace[probe].after == i {
 			s := asgTrace[probe]
 			probe++
 			dead := e.FrontierLen() == 0
@@ -409,6 +441,21 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	return trace
 }
 
+// prefilter returns the plan's shared class prefilter for dead-frontier
+// skipping, or nil when disabled or useless. Skipping is fully exact, so
+// it applies under every engine kind; DisablePrefilter is the ablation
+// switch that forces symbol-by-symbol stepping.
+func (p *Plan) prefilter() *prefilter.Prefilter {
+	if p.Cfg.DisablePrefilter {
+		return nil
+	}
+	pf := p.tables.Prefilter()
+	if !pf.Useful() {
+		return nil
+	}
+	return pf
+}
+
 // frontierOf materialises an engine's frontier as a fresh sorted slice.
 func frontierOf(e engine.Engine) []nfa.StateID {
 	ids := e.AppendFrontier(nil)
@@ -417,12 +464,10 @@ func frontierOf(e engine.Engine) []nfa.StateID {
 }
 
 // adaptiveSwitches returns the representation-switch count of an adaptive
-// engine, and 0 for the fixed backends.
+// engine (or of one wrapped inside the meta/lazy-DFA backends), and 0 for
+// the fixed backends.
 func adaptiveSwitches(e engine.Engine) int64 {
-	if a, ok := e.(*engine.Adaptive); ok {
-		return a.Switches()
-	}
-	return 0
+	return engine.SwitchesOf(e)
 }
 
 // convergeFlows merges flows with identical state vectors (§3.3.3). The

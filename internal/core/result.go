@@ -28,9 +28,13 @@ type SegmentStats struct {
 	KnownAt        ap.Cycles
 	Events         int64
 	Transitions    int64
-	EngineSwitches int64     // adaptive-backend representation switches
-	Mispredicted   bool      // speculation only
-	RerunCycles    ap.Cycles // speculation only
+	EngineSwitches int64 // adaptive-backend representation switches
+	// PrefilterSkipped counts input bytes this segment's flows covered by
+	// dead-frontier skips instead of stepping — a simulator fast-path
+	// figure; the modelled cycle metrics charge every covered symbol.
+	PrefilterSkipped int64
+	Mispredicted     bool      // speculation only
+	RerunCycles      ap.Cycles // speculation only
 }
 
 // Result is the outcome of one PAP execution: the composed (exact) report
@@ -70,6 +74,11 @@ type Result struct {
 	// across all segment engines (0 for the fixed backends) — a simulator
 	// observability figure, not an AP cost.
 	EngineSwitches int64
+	// PrefilterSkipped counts input bytes covered by dead-frontier
+	// prefilter skips across all segment flows plus the golden run —
+	// like EngineSwitches a simulator observability figure, never an AP
+	// cost (skipped symbols are still charged their modelled cycles).
+	PrefilterSkipped int64
 
 	// CapacityNote is non-empty when the flow plan exceeds the SVC limit
 	// (the run still simulates, as the paper's pre-optimization analyses do).
@@ -392,10 +401,11 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 			HostCycles:     seg.HostCycles,
 			KnownAt:        seg.KnownAt,
 			Events:         seg.EventsEmitted,
-			Transitions:    seg.Transitions,
-			EngineSwitches: seg.EngSwitches,
-			Mispredicted:   seg.Mispredicted,
-			RerunCycles:    seg.RerunCycles,
+			Transitions:      seg.Transitions,
+			EngineSwitches:   seg.EngSwitches,
+			PrefilterSkipped: seg.PrefilterSkip,
+			Mispredicted:     seg.Mispredicted,
+			RerunCycles:      seg.RerunCycles,
 		})
 		if seg.Mispredicted {
 			res.MispredictedSegments++
@@ -405,6 +415,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 		events += seg.EventsEmitted
 		trans += seg.Transitions
 		res.EngineSwitches += seg.EngSwitches
+		res.PrefilterSkipped += seg.PrefilterSkip
 		if seg.Index > 0 {
 			flowRounds += seg.FlowRounds
 			rounds += int64(seg.Rounds)
@@ -414,6 +425,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 			hostSamples++
 		}
 	}
+	res.PrefilterSkipped += res.Golden.PrefilterSkipped
 	res.AvgActiveFlows = safeDiv(float64(flowRounds), float64(rounds))
 	res.SwitchOverheadPct = 100 * safeDiv(float64(switchCyc), float64(cyc))
 	if hostSamples > 0 {

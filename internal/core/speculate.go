@@ -57,6 +57,13 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		e.Reset(boundary.Enabled)
 		emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
 		for i := seg.Start; i < seg.End; i++ {
+			if !p.Cfg.DisablePrefilter && e.Dead() {
+				// Baseline is off: a dead enumeration frontier can never
+				// revive, so the remainder is inert (and still charged).
+				rerun.symbols += int64(seg.End - i)
+				rerun.skipped += int64(seg.End - i)
+				break
+			}
 			e.Step(input[i], int64(i), emit)
 			rerun.symbols++
 		}
@@ -78,5 +85,6 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 	seg.RerunCycles = rerunCycles
 	seg.Transitions += rerun.trans
 	seg.EventsEmitted += int64(len(rerun.reports))
+	seg.PrefilterSkip += rerun.skipped
 	return start + rerunCycles
 }

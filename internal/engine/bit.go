@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"pap/internal/bitset"
 	"pap/internal/nfa"
+	"pap/internal/prefilter"
 )
 
 // Tables holds per-automaton precomputed match vectors: for each symbol σ,
@@ -17,6 +19,19 @@ import (
 type Tables struct {
 	n     *nfa.NFA
 	match [256]atomic.Pointer[bitset.Set]
+
+	// pfOnce/pf lazily build the automaton's prefilter, shared by every
+	// meta engine and run loop over this automaton (see Prefilter).
+	pfOnce sync.Once
+	pf     *prefilter.Prefilter
+}
+
+// Prefilter returns the automaton's compiled prefilter, built on first
+// use and shared by every engine over these tables (it is immutable and
+// safe for concurrent use).
+func (t *Tables) Prefilter() *prefilter.Prefilter {
+	t.pfOnce.Do(func() { t.pf = prefilter.Build(t.n) })
+	return t.pf
 }
 
 // NewTables returns empty (lazily filled) match tables for n.

@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 
 	"pap/internal/bitset"
 	"pap/internal/nfa"
@@ -75,22 +76,39 @@ const (
 	SparseKind
 	// BitKind forces the dense bit-vector engine.
 	BitKind
+	// LazyDFAKind forces the lazy-DFA engine: frontiers are determinized
+	// on the fly into a bounded fingerprint-keyed state cache, falling
+	// back to sparse on cache blowup. Requires the backend to be linked:
+	// import pap/internal/engine/lazydfa (blank import suffices).
+	LazyDFAKind
+	// MetaKind selects the meta engine: literal/class prefiltering on a
+	// dead frontier, the lazy DFA while its cache holds, and the adaptive
+	// sparse/bit selector beyond — the full regime-matched stack.
+	MetaKind
 )
+
+// MaxKind is the largest valid Kind value, for layers sizing per-kind
+// arrays or validating configurations.
+const MaxKind = MetaKind
+
+// KindNames returns the canonical parseable names of every backend, in
+// Kind order. Command-line flag help and error messages derive from this
+// list, so it cannot drift from the registered kinds.
+func KindNames() []string {
+	return []string{"auto", "sparse", "bit", "lazydfa", "meta"}
+}
 
 // String returns the parseable name of the kind.
 func (k Kind) String() string {
-	switch k {
-	case SparseKind:
-		return "sparse"
-	case BitKind:
-		return "bit"
-	default:
-		return "auto"
+	if names := KindNames(); int(k) < len(names) {
+		return names[k]
 	}
+	return "auto"
 }
 
 // ParseKind parses an engine name: "auto" (or "adaptive"), "sparse", "bit"
-// (or "dense"). The empty string is Auto.
+// (or "dense"), "lazydfa" (or "lazy-dfa"), "meta". The empty string is
+// Auto.
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "", "auto", "adaptive":
@@ -99,8 +117,34 @@ func ParseKind(s string) (Kind, error) {
 		return SparseKind, nil
 	case "bit", "dense":
 		return BitKind, nil
+	case "lazydfa", "lazy-dfa":
+		return LazyDFAKind, nil
+	case "meta":
+		return MetaKind, nil
 	}
-	return Auto, fmt.Errorf(`engine: unknown kind %q (want "auto", "sparse" or "bit")`, s)
+	return Auto, fmt.Errorf("engine: unknown kind %q (valid kinds: %s)",
+		s, strings.Join(KindNames(), ", "))
+}
+
+// LazyFactory builds a lazy-DFA engine over n, with newFB constructing
+// the permanent fallback engine on cache blowup (nil selects sparse).
+// tab is forwarded for fallbacks that use shared match tables.
+type LazyFactory func(n *nfa.NFA, tab *Tables, newFB func() Engine) Engine
+
+// lazyFactory is installed by pap/internal/engine/lazydfa's init. The
+// indirection breaks the import cycle (lazydfa imports this package for
+// the Engine contract), exactly like database/sql driver registration.
+var lazyFactory LazyFactory
+
+// RegisterLazyDFA installs the lazy-DFA constructor; called from the
+// lazydfa package's init.
+func RegisterLazyDFA(f LazyFactory) { lazyFactory = f }
+
+func newLazyDFA(n *nfa.NFA, tab *Tables, newFB func() Engine) Engine {
+	if lazyFactory == nil {
+		panic(`engine: lazy-DFA backend not linked; import _ "pap/internal/engine/lazydfa"`)
+	}
+	return lazyFactory(n, tab, newFB)
 }
 
 // New returns an engine of the given kind at the automaton's start
@@ -114,15 +158,50 @@ func New(kind Kind, n *nfa.NFA, tab *Tables) Engine {
 		return NewSparse(n)
 	case BitKind:
 		return NewBit(n, tab)
+	case LazyDFAKind:
+		return newLazyDFA(n, tab, nil)
+	case MetaKind:
+		return NewMeta(n, tab)
 	default:
 		return NewAdaptive(n, tab)
 	}
 }
 
+// CacheStats reports the lazy-DFA state cache counters of an engine run.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	States                  int
+	Flushes                 int
+	FellBack                bool
+}
+
+// CacheStatser is implemented by backends carrying a lazy-DFA cache.
+type CacheStatser interface {
+	CacheStats() CacheStats
+}
+
+// Switcher is implemented by backends that count sparse⇄dense
+// representation switches (Adaptive, and backends wrapping it).
+type Switcher interface {
+	Switches() int64
+}
+
+// SwitchesOf returns the representation-switch count of e, 0 for fixed
+// backends.
+func SwitchesOf(e Engine) int64 {
+	if s, ok := e.(Switcher); ok {
+		return s.Switches()
+	}
+	return 0
+}
+
 var (
-	_ Engine = (*Sparse)(nil)
-	_ Engine = (*Bit)(nil)
-	_ Engine = (*Adaptive)(nil)
+	_ Engine   = (*Sparse)(nil)
+	_ Engine   = (*Bit)(nil)
+	_ Engine   = (*Adaptive)(nil)
+	_ Engine   = (*Meta)(nil)
+	_ Switcher = (*Adaptive)(nil)
+	_ Switcher = (*Meta)(nil)
 )
 
 // Report is one output event: reporting state State (carrying rule

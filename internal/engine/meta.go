@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"pap/internal/bitset"
+	"pap/internal/nfa"
+	"pap/internal/prefilter"
+)
+
+// Meta is the regime-matched selector stack, extending the adaptive
+// engine one level up:
+//
+//	prefilter  — when the frontier is dead, run loops skip input to the
+//	             next candidate offset instead of stepping (the Meta
+//	             engine advertises the automaton's prefilter through the
+//	             Prefiltered interface; skipping itself lives in the
+//	             loops, which own the input);
+//	lazy DFA   — while frontiers recur, each step is one cached-edge
+//	             lookup;
+//	adaptive   — on lazy-DFA cache blowup, the familiar density-driven
+//	             sparse⇄bit selector takes over permanently.
+//
+// Every Step is observably exact (the conformance harness holds Meta to
+// full oracle equality, transitions included); only the prefilter skips
+// performed by run loops trade frontier-statistics exactness, and only on
+// the report-only match paths that opt into literal skipping.
+type Meta struct {
+	inner Engine
+	pf    *prefilter.Prefilter
+}
+
+// NewMeta returns a meta engine at the automaton's start configuration.
+// A nil tab is promoted to private tables (the prefilter and the adaptive
+// fallback live there).
+func NewMeta(n *nfa.NFA, tab *Tables) *Meta {
+	if tab == nil {
+		tab = NewTables(n)
+	}
+	pf := tab.Prefilter()
+	if !pf.Useful() {
+		pf = nil
+	}
+	return &Meta{
+		inner: newLazyDFA(n, tab, func() Engine { return NewAdaptive(n, tab) }),
+		pf:    pf,
+	}
+}
+
+// Prefilter returns the automaton's prefilter, or nil when scanning
+// cannot pay off; run loops use it to skip dead-frontier regions.
+func (m *Meta) Prefilter() *prefilter.Prefilter { return m.pf }
+
+// Prefiltered is implemented by engines that carry a prefilter usable by
+// run loops for dead-frontier input skipping.
+type Prefiltered interface {
+	Prefilter() *prefilter.Prefilter
+}
+
+// PrefilterOf returns e's prefilter, or nil for engines without one.
+func PrefilterOf(e Engine) *prefilter.Prefilter {
+	if p, ok := e.(Prefiltered); ok {
+		return p.Prefilter()
+	}
+	return nil
+}
+
+// CacheStatsOf returns e's lazy-DFA cache counters, zero for backends
+// without a cache.
+func CacheStatsOf(e Engine) CacheStats {
+	if c, ok := e.(CacheStatser); ok {
+		return c.CacheStats()
+	}
+	return CacheStats{}
+}
+
+func (m *Meta) Reset(seed []nfa.StateID)               { m.inner.Reset(seed) }
+func (m *Meta) SetBaseline(on bool)                    { m.inner.SetBaseline(on) }
+func (m *Meta) Step(sym byte, off int64, emit EmitFunc) { m.inner.Step(sym, off, emit) }
+func (m *Meta) FrontierLen() int                       { return m.inner.FrontierLen() }
+func (m *Meta) Dead() bool                             { return m.inner.Dead() }
+func (m *Meta) Fingerprint() uint64                    { return m.inner.Fingerprint() }
+func (m *Meta) Transitions() int64                     { return m.inner.Transitions() }
+
+func (m *Meta) AppendFrontier(dst []nfa.StateID) []nfa.StateID {
+	return m.inner.AppendFrontier(dst)
+}
+
+func (m *Meta) AppendFired(dst []nfa.StateID) []nfa.StateID {
+	return m.inner.AppendFired(dst)
+}
+
+func (m *Meta) FrontierSet() *bitset.Set { return m.inner.FrontierSet() }
+
+// CacheStats reports the inner lazy DFA's cache counters.
+func (m *Meta) CacheStats() CacheStats { return CacheStatsOf(m.inner) }
+
+// Switches reports the representation switches of the adaptive engine the
+// inner lazy DFA may have fallen back to (0 before fallback).
+func (m *Meta) Switches() int64 { return SwitchesOf(m.inner) }
+
+var _ CacheStatser = (*Meta)(nil)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pap/internal/nfa"
+	"pap/internal/prefilter"
 )
 
 // ctxCheckEvery is the default symbol interval between context polls in
@@ -20,6 +21,26 @@ type Result struct {
 	Transitions int64
 	MaxFrontier int
 	SumFrontier int64 // Σ frontier size over all positions (avg = Sum/len)
+	// PrefilterSkipped counts input bytes the run never stepped because a
+	// prefilter proved them inert on a dead frontier (0 for engines
+	// without a prefilter). Skipped symbols contribute nothing to
+	// Transitions or the frontier statistics — for class skips that is
+	// exact (the true contribution is zero); literal skips additionally
+	// drop doomed partial frontiers (see RunOpts.LiteralPrefilter).
+	PrefilterSkipped int64
+	// Cache reports the lazy-DFA state-cache counters, zero for backends
+	// without one.
+	Cache CacheStats
+}
+
+// RunOpts tunes the run loops.
+type RunOpts struct {
+	// LiteralPrefilter permits the report-exact literal scanner for
+	// dead-frontier skips, in addition to the always-exact class scanner.
+	// Only the report stream is then guaranteed; MaxFrontier/SumFrontier
+	// may undercount doomed partial-literal activity. Match-only callers
+	// (pap.Match and friends) enable it; metric-bearing callers must not.
+	LiteralPrefilter bool
 }
 
 // Run executes the automaton over the whole input with the default (Auto)
@@ -31,18 +52,44 @@ func Run(n *nfa.NFA, input []byte) Result {
 // RunEngine is Run with an explicit backend kind and optional shared match
 // tables (nil builds private tables on demand; sparse ignores them).
 func RunEngine(n *nfa.NFA, input []byte, kind Kind, tab *Tables) Result {
+	return RunEngineOpts(n, input, kind, tab, RunOpts{})
+}
+
+// skipFrom returns the next offset the engine must actually step from
+// position i, given a dead frontier, or i when no skip applies.
+func skipFrom(pf *prefilter.Prefilter, input []byte, i int, opts RunOpts) int {
+	if opts.LiteralPrefilter {
+		return pf.NextLiteral(input, i)
+	}
+	return pf.Next(input, i)
+}
+
+// RunEngineOpts is RunEngine with run options. Engines advertising a
+// prefilter (the meta backend) skip dead-frontier regions instead of
+// stepping them; Result.PrefilterSkipped counts the bytes skipped.
+func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpts) Result {
 	e := New(kind, n, tab)
+	pf := PrefilterOf(e)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
-	for i, sym := range input {
-		e.Step(sym, int64(i), emit)
+	for i := 0; i < len(input); {
+		if pf != nil && e.Dead() {
+			if j := skipFrom(pf, input, i, opts); j > i {
+				res.PrefilterSkipped += int64(j - i)
+				i = j
+				continue
+			}
+		}
+		e.Step(input[i], int64(i), emit)
 		l := e.FrontierLen()
 		if l > res.MaxFrontier {
 			res.MaxFrontier = l
 		}
 		res.SumFrontier += int64(l)
+		i++
 	}
 	res.Transitions = e.Transitions()
+	res.Cache = CacheStatsOf(e)
 	return res
 }
 
@@ -52,27 +99,46 @@ func RunEngine(n *nfa.NFA, input []byte, kind Kind, tab *Tables) Result {
 // ctx's error together with the partial result and the number of symbols
 // processed before the poll observed the cancellation.
 func RunEngineContext(ctx context.Context, n *nfa.NFA, input []byte, kind Kind, tab *Tables, every int) (Result, int, error) {
+	return RunEngineOptsContext(ctx, n, input, kind, tab, every, RunOpts{})
+}
+
+// RunEngineOptsContext is RunEngineContext with run options (see
+// RunEngineOpts). Prefilter skips jump over poll offsets without
+// checking — a skip consumes input at scan speed, so cancellation latency
+// stays bounded by the stepped stretches between candidates.
+func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Kind, tab *Tables, every int, opts RunOpts) (Result, int, error) {
 	if every <= 0 {
 		every = ctxCheckEvery
 	}
 	e := New(kind, n, tab)
+	pf := PrefilterOf(e)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
-	for i, sym := range input {
+	for i := 0; i < len(input); {
+		if pf != nil && e.Dead() {
+			if j := skipFrom(pf, input, i, opts); j > i {
+				res.PrefilterSkipped += int64(j - i)
+				i = j
+				continue
+			}
+		}
 		if i%every == 0 {
 			if err := ctx.Err(); err != nil {
 				res.Transitions = e.Transitions()
+				res.Cache = CacheStatsOf(e)
 				return res, i, err
 			}
 		}
-		e.Step(sym, int64(i), emit)
+		e.Step(input[i], int64(i), emit)
 		l := e.FrontierLen()
 		if l > res.MaxFrontier {
 			res.MaxFrontier = l
 		}
 		res.SumFrontier += int64(l)
+		i++
 	}
 	res.Transitions = e.Transitions()
+	res.Cache = CacheStatsOf(e)
 	return res, len(input), nil
 }
 
@@ -108,18 +174,36 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 		every = ctxCheckEvery
 	}
 	e := New(kind, n, tab)
+	pf := PrefilterOf(e)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	bounds := make([]Boundary, 0, len(cuts))
 	ci := 0
-	for i, sym := range input {
+	for i := 0; i < len(input); {
+		// Boundary runs feed the modelled-cycle metrics, so only the fully
+		// exact class scanner may skip here, and a skip is clamped to land
+		// one symbol before the next cut: stepping that symbol records the
+		// boundary naturally (its Fired/Enabled are provably empty in a
+		// skipped region, but the recording code stays on one path).
+		if pf != nil && e.Dead() {
+			j := pf.Next(input, i)
+			if ci < len(cuts) && cuts[ci]-1 < j {
+				j = cuts[ci] - 1
+			}
+			if j > i {
+				res.PrefilterSkipped += int64(j - i)
+				i = j
+				continue
+			}
+		}
 		if i%every == 0 {
 			if err := ctx.Err(); err != nil {
 				res.Transitions = e.Transitions()
+				res.Cache = CacheStatsOf(e)
 				return res, bounds, i, err
 			}
 		}
-		e.Step(sym, int64(i), emit)
+		e.Step(input[i], int64(i), emit)
 		l := e.FrontierLen()
 		if l > res.MaxFrontier {
 			res.MaxFrontier = l
@@ -133,8 +217,10 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 			})
 			ci++
 		}
+		i++
 	}
 	res.Transitions = e.Transitions()
+	res.Cache = CacheStatsOf(e)
 	return res, bounds, len(input), nil
 }
 

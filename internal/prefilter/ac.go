@@ -1,0 +1,96 @@
+package prefilter
+
+// acMachine is a dense Aho-Corasick automaton over the required literal
+// set, specialised to one question: at which offset does the *earliest*
+// literal occurrence end? Failure transitions are precomputed into a full
+// next[state][byte] table at build time, so the scan is one table load per
+// byte; while the machine sits in its root state the scan instead skips
+// with a first-byte membership table (the memchr-style fast path), since
+// only a literal's first byte can leave the root.
+type acMachine struct {
+	next     [][256]int32
+	terminal []bool
+	inFirst  [256]bool // bytes that move the root off itself
+	maxLen   int
+}
+
+// buildAC compiles the literal set. Literals must be non-empty; the
+// machine size is one node per distinct literal prefix, bounded by
+// maxLiterals * maxLiteralLen.
+func buildAC(lits [][]byte) *acMachine {
+	m := &acMachine{}
+	// Trie construction over goto edges; 0 is the root.
+	m.addNode()
+	for _, l := range lits {
+		if len(l) > m.maxLen {
+			m.maxLen = len(l)
+		}
+		s := int32(0)
+		for _, b := range l {
+			if m.next[s][b] == 0 {
+				m.next[s][b] = m.addNode()
+			}
+			s = m.next[s][b]
+		}
+		m.terminal[s] = true
+	}
+	for b := 0; b < 256; b++ {
+		m.inFirst[b] = m.next[0][b] != 0
+	}
+	// BFS failure computation, folding fail links directly into next and
+	// propagating terminality (a node is terminal if any suffix of its
+	// prefix is a literal).
+	fail := make([]int32, len(m.next))
+	queue := make([]int32, 0, len(m.next))
+	for b := 0; b < 256; b++ {
+		if c := m.next[0][b]; c != 0 {
+			queue = append(queue, c)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if m.terminal[fail[s]] {
+			m.terminal[s] = true
+		}
+		for b := 0; b < 256; b++ {
+			c := m.next[s][b]
+			if c != 0 {
+				fail[c] = m.next[fail[s]][b]
+				queue = append(queue, c)
+			} else {
+				m.next[s][b] = m.next[fail[s]][b]
+			}
+		}
+	}
+	return m
+}
+
+func (m *acMachine) addNode() int32 {
+	m.next = append(m.next, [256]int32{})
+	m.terminal = append(m.terminal, false)
+	return int32(len(m.next) - 1)
+}
+
+// firstEnd returns the smallest offset e >= i at which some literal
+// occurrence (starting at or after i) ends, or -1 if none ends anywhere
+// in input[i:].
+func (m *acMachine) firstEnd(input []byte, i int) int {
+	s := int32(0)
+	for j := i; j < len(input); j++ {
+		if s == 0 {
+			// Root fast path: only first bytes leave the root.
+			for j < len(input) && !m.inFirst[input[j]] {
+				j++
+			}
+			if j >= len(input) {
+				return -1
+			}
+		}
+		s = m.next[s][input[j]]
+		if m.terminal[s] {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,336 @@
+// Package prefilter accelerates quiet input regions. Once a flow's
+// enumeration frontier has collapsed to the always-active baseline (the
+// paper's ASG-only configuration), the only way activity can restart is an
+// all-input state firing — and an all-input state fires only on a symbol
+// in its label class. A prefilter extracted from the compiled automaton
+// therefore lets execution loops *skip* from the current offset straight
+// to the next candidate offset instead of stepping the engine symbol by
+// symbol, turning quiet regions into a memchr-speed scan (ROADMAP item
+// "baseline skip"; the same work-reduction idea PaREM applies statically).
+//
+// Two scanners are extracted, with different exactness guarantees:
+//
+//   - The class scanner (Next) finds the next byte in the union of all
+//     all-input labels. Skipping to it is *fully exact*: every skipped
+//     symbol provably fires no state, traverses no transition, emits no
+//     report, and leaves the frontier empty, so every observable —
+//     reports, Transitions, frontier statistics, and the modelled
+//     ap.Cycles charged per symbol — is preserved bit-for-bit. All
+//     execution layers may use it unconditionally.
+//
+//   - The literal scanner (NextLiteral) runs an Aho-Corasick automaton
+//     over required literals rooted at the all-input states and jumps to
+//     just before the earliest possible literal completion. It is
+//     *report-exact*: the skipped region provably contains no report and
+//     no activity that could ever produce one, but doomed partial-literal
+//     frontier states are dropped, so frontier-size observables may
+//     differ. Only match-only paths (Automaton.Match and friends) use it.
+//
+// Extraction is conservative: literals are only produced when the
+// automaton's entire escape surface is covered (see Extract); otherwise
+// the literal scanner degrades to the class scanner, which always exists.
+package prefilter
+
+import (
+	"bytes"
+
+	"pap/internal/nfa"
+)
+
+// Extraction limits. Classes wider than maxClassExpand symbols stop a
+// literal (they would multiply variants); a branch stops at maxLiteralLen
+// bytes; extraction aborts (Literals = nil) beyond maxLiterals total.
+const (
+	maxClassExpand = 4
+	maxLiteralLen  = 16
+	maxLiterals    = 64
+	// minUsefulLiteralLen: a 1-byte literal triggers on every occurrence of
+	// that byte, which the class scanner already handles without the
+	// Aho-Corasick machinery — literal extraction only pays past length 1.
+	minUsefulLiteralLen = 2
+	// usefulMaxStartDensity is the largest start-class size for which byte
+	// skipping can plausibly help; beyond it nearly every byte is a
+	// candidate and the scan is pure overhead.
+	usefulMaxStartDensity = 224
+)
+
+// Info is the raw extraction result, exposed for tests and diagnostics.
+type Info struct {
+	// StartClass is the union of all all-input state labels: the exact set
+	// of bytes that can restart activity on a dead frontier.
+	StartClass nfa.Class
+	// Literals are required literals: whenever the frontier is dead, any
+	// future report is preceded by a complete occurrence of one of these
+	// literals. nil when no sound-and-useful literal set exists.
+	Literals [][]byte
+}
+
+// Extract analyses a compiled automaton. The StartClass is always exact.
+// Literals are produced only under conditions that make literal skipping
+// report-exact (proved in NextLiteral's comment):
+//
+//   - no all-input state reports (else a single byte can report);
+//   - each all-input label expands to at most maxClassExpand symbols;
+//   - literals follow "pure chain trees" below each all-input state: a
+//     tree state's only predecessor is its tree parent, it carries no
+//     start flags, and its label stays narrow. Any violation truncates
+//     the literal at the last pure state — a truncated required literal
+//     is still required (it is a prefix of every deeper trace);
+//   - a reporting tree state ends its literal inclusively (the trace
+//     reports only after completing the literal through that state);
+//   - every produced literal has length >= minUsefulLiteralLen and the
+//     total stays within maxLiterals.
+func Extract(n *nfa.NFA) Info {
+	var info Info
+	for _, q := range n.AllInputStates() {
+		info.StartClass = info.StartClass.Union(n.Label(q))
+	}
+	info.Literals = extractLiterals(n)
+	return info
+}
+
+func extractLiterals(n *nfa.NFA) [][]byte {
+	roots := n.AllInputStates()
+	if len(roots) == 0 {
+		return nil
+	}
+	var lits [][]byte
+	for _, a := range roots {
+		st := n.State(a)
+		if st.Flags&nfa.Report != 0 {
+			return nil // a lone byte reports: no literal covers it
+		}
+		syms := st.Label.Symbols(nil)
+		if len(syms) == 0 {
+			continue // unsatisfiable label: this root can never fire
+		}
+		if len(syms) > maxClassExpand {
+			return nil // root class too wide to enumerate
+		}
+		prefixes := make([][]byte, len(syms))
+		for i, s := range syms {
+			prefixes[i] = []byte{s}
+		}
+		var ok bool
+		lits, ok = walkChain(n, a, a, prefixes, lits)
+		if !ok {
+			return nil
+		}
+	}
+	if len(lits) == 0 {
+		return nil
+	}
+	for _, l := range lits {
+		if len(l) < minUsefulLiteralLen {
+			return nil
+		}
+	}
+	return dedupeLiterals(lits)
+}
+
+// walkChain extends the literal variants in prefixes down the pure chain
+// tree below state q (whose bytes prefixes already cover), appending
+// completed literals to lits. It returns ok=false when the total literal
+// count would exceed maxLiterals.
+func walkChain(n *nfa.NFA, root, q nfa.StateID, prefixes [][]byte, lits [][]byte) ([][]byte, bool) {
+	emit := func() ([][]byte, bool) {
+		if len(lits)+len(prefixes) > maxLiterals {
+			return nil, false
+		}
+		return append(lits, prefixes...), true
+	}
+	if len(prefixes[0]) >= maxLiteralLen {
+		return emit()
+	}
+	// Children eligible for extension. An edge into an all-input state is
+	// inert (engines never enter all-input states), so such children are
+	// ignored entirely rather than truncating the chain.
+	var chain []nfa.StateID
+	for _, c := range n.Succ(q) {
+		cs := n.State(c)
+		if cs.Flags&nfa.AllInput != 0 {
+			continue
+		}
+		if c == q || cs.Flags&nfa.StartOfData != 0 || !solePred(n, c, q) ||
+			cs.Label.Count() == 0 || cs.Label.Count() > maxClassExpand {
+			// Impure child: activity can pass q without matching deeper
+			// bytes we could append, so the literal ends at q.
+			return emit()
+		}
+		chain = append(chain, c)
+	}
+	if len(chain) == 0 {
+		return emit() // leaf: the literal ends here
+	}
+	for _, c := range chain {
+		cs := n.State(c)
+		syms := cs.Label.Symbols(nil)
+		if len(prefixes)*len(syms) > maxLiterals {
+			return emit()
+		}
+		ext := make([][]byte, 0, len(prefixes)*len(syms))
+		for _, p := range prefixes {
+			for _, s := range syms {
+				v := make([]byte, len(p)+1)
+				copy(v, p)
+				v[len(p)] = s
+				ext = append(ext, v)
+			}
+		}
+		if cs.Flags&nfa.Report != 0 {
+			// Reporting chain state: the literal through it is complete the
+			// instant the report fires; end it here, inclusively.
+			var ok bool
+			if lits, ok = appendAll(lits, ext); !ok {
+				return nil, false
+			}
+			continue
+		}
+		var ok bool
+		if lits, ok = walkChain(n, root, c, ext, lits); !ok {
+			return nil, false
+		}
+	}
+	return lits, true
+}
+
+func appendAll(lits, ext [][]byte) ([][]byte, bool) {
+	if len(lits)+len(ext) > maxLiterals {
+		return nil, false
+	}
+	return append(lits, ext...), true
+}
+
+// solePred reports whether parent is state c's only predecessor.
+func solePred(n *nfa.NFA, c, parent nfa.StateID) bool {
+	preds := n.Pred(c)
+	return len(preds) == 1 && preds[0] == parent
+}
+
+func dedupeLiterals(lits [][]byte) [][]byte {
+	seen := make(map[string]bool, len(lits))
+	out := lits[:0]
+	for _, l := range lits {
+		if !seen[string(l)] {
+			seen[string(l)] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Prefilter is an immutable compiled scanner pair. It is safe for
+// concurrent use by any number of engines sharing one automaton.
+type Prefilter struct {
+	info       Info
+	startCount int
+	single     byte // the candidate byte when startCount == 1
+	inStart    [256]bool
+	ac         *acMachine // nil when Info.Literals is nil
+}
+
+// Build compiles the prefilter for an automaton. It never returns nil;
+// consult Useful to decide whether scanning can pay off.
+func Build(n *nfa.NFA) *Prefilter {
+	return FromInfo(Extract(n))
+}
+
+// FromInfo compiles a prefilter from an extraction result (split out so
+// tests can exercise scanner construction on synthetic literal sets).
+func FromInfo(info Info) *Prefilter {
+	p := &Prefilter{info: info, startCount: info.StartClass.Count()}
+	for s := 0; s < 256; s++ {
+		if info.StartClass.Test(byte(s)) {
+			p.inStart[s] = true
+			p.single = byte(s)
+		}
+	}
+	if len(info.Literals) > 0 {
+		p.ac = buildAC(info.Literals)
+	}
+	return p
+}
+
+// Info returns the extraction result the prefilter was built from.
+func (p *Prefilter) Info() Info { return p.info }
+
+// HasLiterals reports whether the literal scanner is available (otherwise
+// NextLiteral degrades to Next).
+func (p *Prefilter) HasLiterals() bool { return p.ac != nil }
+
+// Useful reports whether skipping can plausibly beat plain stepping: some
+// byte must be skippable, and candidate bytes must not saturate the
+// alphabet (unless literals sharpen the scan further).
+func (p *Prefilter) Useful() bool {
+	return p.startCount <= usefulMaxStartDensity || p.ac != nil
+}
+
+// Next returns the smallest offset j in [i, len(input)) such that
+// input[j] can fire an all-input state, or len(input) if none exists.
+// Skipping a dead-frontier engine from i to j is fully exact: a symbol
+// outside the start class fires nothing on an empty frontier, so the
+// engine state and every observable are unchanged over the skipped range.
+func (p *Prefilter) Next(input []byte, i int) int {
+	return p.NextIn(input, i, len(input))
+}
+
+// NextIn is Next bounded to the window [i, hi): it returns the smallest
+// candidate offset in the window, or hi if none exists. Execution layers
+// with internal boundaries (TDM rounds, segment cuts) use the bound to
+// stop skips at the boundary.
+func (p *Prefilter) NextIn(input []byte, i, hi int) int {
+	if hi > len(input) {
+		hi = len(input)
+	}
+	if i >= hi {
+		return hi
+	}
+	switch {
+	case p.startCount == 0:
+		return hi // no all-input states: a dead frontier is dead forever
+	case p.startCount == 1:
+		if j := bytes.IndexByte(input[i:hi], p.single); j >= 0 {
+			return i + j
+		}
+		return hi
+	default:
+		for ; i < hi; i++ {
+			if p.inStart[input[i]] {
+				return i
+			}
+		}
+		return hi
+	}
+}
+
+// NextLiteral returns an offset j in [i, len(input)] such that skipping a
+// dead-frontier engine from i to j preserves the report stream exactly,
+// choosing j as far forward as the literal set allows; with no literals it
+// falls back to Next.
+//
+// Soundness: under Extract's conditions, any trace of activity started by
+// an all-input state firing at position t can report, or escape its pure
+// chain tree, only after a complete occurrence of one of the literals —
+// an occurrence starting at t and ending at t+L-1 for that literal's
+// length L <= Lmax. Let e be the earliest offset >= i at which any
+// literal occurrence ends, and j = max(i, e-Lmax+1). A trace starting at
+// t < j would complete its literal by t+Lmax-1 < j+Lmax-1 = e,
+// contradicting e's minimality — so every trace starting before j dies
+// inside its (non-reporting) tree and never influences anything. Traces
+// starting at or after j are replayed faithfully by stepping from j. With
+// no occurrence ending anywhere, j = len(input) and the whole tail is
+// report-free.
+func (p *Prefilter) NextLiteral(input []byte, i int) int {
+	if p.ac == nil {
+		return p.Next(input, i)
+	}
+	e := p.ac.firstEnd(input, i)
+	if e < 0 {
+		return len(input)
+	}
+	j := e - p.ac.maxLen + 1
+	if j < i {
+		j = i
+	}
+	return j
+}

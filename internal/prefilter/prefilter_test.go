@@ -1,0 +1,239 @@
+package prefilter
+
+import (
+	"sort"
+	"testing"
+
+	"pap/internal/nfa"
+)
+
+// chainNFA builds one all-input root labelled rootSyms followed by a pure
+// chain of states labelled by each element of rest. With report set, the
+// last chain state reports.
+func chainNFA(tb testing.TB, rootSyms string, rest []string, report bool) *nfa.NFA {
+	tb.Helper()
+	b := nfa.NewBuilder("chain")
+	prev := b.AddState(nfa.ClassOf([]byte(rootSyms)...), nfa.AllInput)
+	for i, syms := range rest {
+		id := b.AddState(nfa.ClassOf([]byte(syms)...), 0)
+		b.AddEdge(prev, id)
+		if report && i == len(rest)-1 {
+			b.SetFlags(id, nfa.Report)
+			b.SetReportCode(id, 1)
+		}
+		prev = id
+	}
+	n, err := b.Build()
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	return n
+}
+
+func literalStrings(lits [][]byte) []string {
+	out := make([]string, len(lits))
+	for i, l := range lits {
+		out[i] = string(l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// An automaton with no all-input states (the empty-ruleset analogue for a
+// dead frontier: nothing can ever restart) must yield an empty start
+// class, no literals, and a Next that skips everything in one step.
+func TestExtractNoAllInputStates(t *testing.T) {
+	b := nfa.NewBuilder("sod-only")
+	b.AddState(nfa.ClassOf('a'), nfa.StartOfData)
+	n := b.MustBuild()
+	p := Build(n)
+	if got := p.Info().StartClass.Count(); got != 0 {
+		t.Fatalf("StartClass.Count = %d, want 0", got)
+	}
+	if p.HasLiterals() {
+		t.Fatalf("HasLiterals = true, want false")
+	}
+	if !p.Useful() {
+		t.Fatal("Useful = false; an always-skippable prefilter is maximally useful")
+	}
+	input := []byte("anything at all")
+	if got := p.Next(input, 0); got != len(input) {
+		t.Fatalf("Next = %d, want %d (whole input skippable)", got, len(input))
+	}
+	if got := p.NextLiteral(input, 3); got != len(input) {
+		t.Fatalf("NextLiteral = %d, want %d", got, len(input))
+	}
+}
+
+func TestExtractSingleByteChain(t *testing.T) {
+	n := chainNFA(t, "n", []string{"e", "e", "d"}, true)
+	p := Build(n)
+	if got := literalStrings(p.Info().Literals); len(got) != 1 || got[0] != "need" {
+		t.Fatalf("Literals = %q, want [need]", got)
+	}
+	if !p.HasLiterals() || !p.Useful() {
+		t.Fatalf("HasLiterals=%v Useful=%v, want true/true", p.HasLiterals(), p.Useful())
+	}
+	if got := p.Info().StartClass.Count(); got != 1 {
+		t.Fatalf("StartClass.Count = %d, want 1", got)
+	}
+	// Single-byte start class takes the IndexByte fast path.
+	input := []byte("zzzzznzz")
+	if got := p.Next(input, 0); got != 5 {
+		t.Fatalf("Next = %d, want 5", got)
+	}
+	if got := p.Next(input, 6); got != len(input) {
+		t.Fatalf("Next past the hit = %d, want %d", got, len(input))
+	}
+}
+
+// Case-folded labels ([Gg][Ee][Tt]) must expand into every case variant —
+// the AC scanner then matches any casing.
+func TestExtractCaseFoldedLiterals(t *testing.T) {
+	n := chainNFA(t, "Gg", []string{"Ee", "Tt"}, true)
+	p := Build(n)
+	want := []string{"GET", "GEt", "GeT", "Get", "gET", "gEt", "geT", "get"}
+	sort.Strings(want)
+	if got := literalStrings(p.Info().Literals); len(got) != len(want) {
+		t.Fatalf("Literals = %q, want %q", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Literals = %q, want %q", got, want)
+			}
+		}
+	}
+	// Any casing is found; the jump lands at the occurrence start.
+	input := []byte("zzzzgEt!")
+	if got := p.NextLiteral(input, 0); got != 4 {
+		t.Fatalf("NextLiteral = %d, want 4", got)
+	}
+}
+
+// A root class wider than maxClassExpand stops literal extraction (the
+// variant product would explode), but the class scanner stays exact.
+func TestExtractWideRootClass(t *testing.T) {
+	n := chainNFA(t, "abcde", []string{"x", "y"}, true)
+	p := Build(n)
+	if p.HasLiterals() {
+		t.Fatalf("HasLiterals = true for a %d-symbol root, want false", 5)
+	}
+	if got := p.Info().StartClass.Count(); got != 5 {
+		t.Fatalf("StartClass.Count = %d, want 5", got)
+	}
+	// NextLiteral must degrade to the class scanner.
+	input := []byte("zzczz")
+	if got, want := p.NextLiteral(input, 0), p.Next(input, 0); got != want {
+		t.Fatalf("NextLiteral = %d, Next = %d; want equal fallback", got, want)
+	}
+}
+
+// An all-input state that itself reports makes literal skipping unsound
+// (a single byte produces a report); extraction must refuse.
+func TestExtractReportingAllInput(t *testing.T) {
+	b := nfa.NewBuilder("rep-root")
+	q := b.AddState(nfa.ClassOf('a'), nfa.AllInput)
+	b.SetFlags(q, nfa.Report)
+	b.SetReportCode(q, 7)
+	n := b.MustBuild()
+	p := Build(n)
+	if p.HasLiterals() {
+		t.Fatal("HasLiterals = true with a reporting all-input state")
+	}
+}
+
+// A lone all-input state yields only a 1-byte literal, which is rejected
+// as useless (the class scanner already handles single bytes).
+func TestExtractShortLiteralRejected(t *testing.T) {
+	n := chainNFA(t, "a", nil, false)
+	if p := Build(n); p.HasLiterals() {
+		t.Fatal("HasLiterals = true for a 1-byte literal")
+	}
+}
+
+// An impure chain child (second predecessor) truncates the literal at the
+// last pure state; the truncated prefix is still a valid required literal.
+func TestExtractImpureChildTruncates(t *testing.T) {
+	b := nfa.NewBuilder("impure")
+	root := b.AddState(nfa.ClassOf('a'), nfa.AllInput)
+	mid := b.AddState(nfa.ClassOf('b'), 0)
+	tail := b.AddState(nfa.ClassOf('c'), 0)
+	other := b.AddState(nfa.ClassOf('x'), nfa.StartOfData)
+	b.SetFlags(tail, nfa.Report)
+	b.AddEdge(root, mid)
+	b.AddEdge(mid, tail)
+	b.AddEdge(other, tail) // second predecessor: tail is impure
+	n := b.MustBuild()
+	p := Build(n)
+	if got := literalStrings(p.Info().Literals); len(got) != 1 || got[0] != "ab" {
+		t.Fatalf("Literals = %q, want [ab] (truncated before the impure child)", got)
+	}
+}
+
+func TestNextInBounds(t *testing.T) {
+	p := FromInfo(Info{StartClass: nfa.ClassOf('x', 'y')})
+	input := []byte("aaaaxaaya")
+	if got := p.NextIn(input, 0, 3); got != 3 {
+		t.Fatalf("NextIn bounded before the hit = %d, want 3", got)
+	}
+	if got := p.NextIn(input, 0, 5); got != 4 {
+		t.Fatalf("NextIn spanning the hit = %d, want 4", got)
+	}
+	if got := p.NextIn(input, 5, 9); got != 7 {
+		t.Fatalf("NextIn from mid = %d, want 7", got)
+	}
+	if got := p.NextIn(input, 8, 4); got != 4 {
+		t.Fatalf("NextIn with i >= hi = %d, want hi", got)
+	}
+}
+
+// The literal jump rule: for the earliest occurrence end e, the landing
+// offset is max(i, e-Lmax+1) — far enough back that any trace whose
+// literal ends at e is stepped in full.
+func TestNextLiteralJumpRule(t *testing.T) {
+	p := FromInfo(Info{
+		StartClass: nfa.ClassOf('a', 'x'),
+		Literals:   [][]byte{[]byte("abc"), []byte("xy")},
+	})
+	// Earliest end: "xy" ending at index 5; Lmax = 3; jump to 5-3+1 = 3.
+	if got := p.NextLiteral([]byte("zzzzxy.."), 0); got != 3 {
+		t.Fatalf("NextLiteral = %d, want 3", got)
+	}
+	// Occurrence ending before i+Lmax clamps to i: never move backward.
+	if got := p.NextLiteral([]byte("abczz"), 0); got != 0 {
+		t.Fatalf("NextLiteral at an immediate occurrence = %d, want 0", got)
+	}
+	// No occurrence anywhere: the whole tail is report-free.
+	in := []byte("zzzzzzab")
+	if got := p.NextLiteral(in, 0); got != len(in) {
+		t.Fatalf("NextLiteral with no occurrence = %d, want %d", got, len(in))
+	}
+}
+
+// Terminality must propagate along AC failure links: a literal that is a
+// proper suffix of another's prefix still ends the scan.
+func TestACSuffixTerminal(t *testing.T) {
+	m := buildAC([][]byte{[]byte("abcd"), []byte("bc")})
+	if got := m.firstEnd([]byte("zabcd"), 0); got != 3 {
+		t.Fatalf("firstEnd = %d, want 3 (\"bc\" ends inside \"abc\")", got)
+	}
+	if got := m.firstEnd([]byte("ababab"), 0); got != -1 {
+		t.Fatalf("firstEnd = %d, want -1", got)
+	}
+}
+
+// Overlapping occurrences: the scan must report the earliest end, not the
+// end of the first match it happens to complete from the root.
+func TestACEarliestEnd(t *testing.T) {
+	m := buildAC([][]byte{[]byte("aab"), []byte("ab")})
+	// "aab" at 0..2 and "ab" at 1..2 both end at 2.
+	if got := m.firstEnd([]byte("aabz"), 0); got != 2 {
+		t.Fatalf("firstEnd = %d, want 2", got)
+	}
+	if got := m.firstEnd([]byte("aabz"), 1); got != 2 {
+		t.Fatalf("firstEnd from 1 = %d, want 2", got)
+	}
+	if got := m.firstEnd([]byte("aabz"), 3); got != -1 {
+		t.Fatalf("firstEnd from 3 = %d, want -1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"pap"
@@ -80,6 +81,7 @@ type apStatsJSON struct {
 	SwitchOverheadPct float64 `json:"switch_overhead_pct"`
 	FalseReportRatio  float64 `json:"false_report_ratio"`
 	EngineSwitches    int64   `json:"engine_switches"`
+	PrefilterSkipped  int64   `json:"prefilter_skipped"`
 	Verified          bool    `json:"verified"`
 }
 
@@ -264,6 +266,20 @@ func (s *Server) countEngineSteps(k pap.EngineKind, symbols int) {
 	}
 }
 
+// countEngineInfo feeds one match's (or stream write's delta of) backend
+// observability counters into the prefilter and lazy-DFA cache metrics.
+func (s *Server) countEngineInfo(info pap.EngineInfo) {
+	s.prefilterSkipped.Add(info.PrefilterSkippedBytes)
+	s.lazyCacheHits.Add(info.CacheHits)
+	s.lazyCacheMisses.Add(info.CacheMisses)
+	s.lazyCacheEvicts.Add(info.CacheEvictions)
+}
+
+// engineNames is the valid-kinds list quoted in engine parse errors.
+func engineNames() string {
+	return `"` + strings.Join(pap.EngineKindNames(), `", "`) + `"`
+}
+
 func (s *Server) countMatches(e *Entry, n int) {
 	e.Requests.Add(1)
 	e.Matches.Add(int64(n))
@@ -394,7 +410,7 @@ func resolveEngine(q map[string][]string, e *Entry) (pap.EngineKind, error) {
 	if vs := q["engine"]; len(vs) > 0 && vs[0] != "" {
 		k, err := pap.ParseEngineKind(vs[0])
 		if err != nil {
-			return pap.EngineAuto, fmt.Errorf(`engine must be "auto", "sparse" or "bit", got %q`, vs[0])
+			return pap.EngineAuto, fmt.Errorf("engine must be one of %s, got %q", engineNames(), vs[0])
 		}
 		return k, nil
 	}
@@ -435,12 +451,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	switch mode {
 	case "sequential":
-		var ms []pap.Match
+		var (
+			ms   []pap.Match
+			info pap.EngineInfo
+		)
 		if !s.dispatch(w, r, func() {
-			ms, matchErr = e.Automaton.MatchWithContext(execCtx, payload, eng)
+			ms, info, matchErr = e.Automaton.MatchWithInfoContext(execCtx, payload, eng)
 		}) {
 			return
 		}
+		s.countEngineInfo(info)
 		if matchErr != nil {
 			s.writeAbort(w, matchErr, nil)
 			return
@@ -482,11 +502,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			SwitchOverheadPct: st.SwitchOverheadPct,
 			FalseReportRatio:  st.FalseReportRatio,
 			EngineSwitches:    st.EngineSwitches,
+			PrefilterSkipped:  st.PrefilterSkippedBytes,
 			Verified:          st.Verified,
 		}
 		s.speedupHist.Observe(st.Speedup)
 		s.countEngineSteps(eng, len(payload))
 		s.engineSwitches.Add(st.EngineSwitches)
+		s.prefilterSkipped.Add(st.PrefilterSkippedBytes)
 	default:
 		writeErr(w, http.StatusBadRequest,
 			`mode must be "sequential" (default) or "parallel", got %q`, mode)
@@ -526,7 +548,7 @@ func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
 	if req.Engine != "" {
 		if eng, err = pap.ParseEngineKind(req.Engine); err != nil {
 			writeErr(w, http.StatusBadRequest,
-				`engine must be "auto", "sparse" or "bit", got %q`, req.Engine)
+				"engine must be one of %s, got %q", engineNames(), req.Engine)
 			return
 		}
 	}
@@ -574,13 +596,22 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 	var (
 		ms        []pap.Match
 		offset    int64
-		switches  int64
+		ws        WriteStats
 		writeErr2 error
 	)
 	if !s.dispatch(w, r, func() {
-		ms, offset, switches, writeErr2 = sess.WriteContext(execCtx, chunk)
+		ms, offset, ws, writeErr2 = sess.WriteContext(execCtx, chunk)
 	}) {
 		return
+	}
+	countWrite := func() {
+		s.engineSwitches.Add(ws.Switches)
+		s.countEngineInfo(pap.EngineInfo{
+			PrefilterSkippedBytes: ws.PrefilterSkipped,
+			CacheHits:             ws.CacheHits,
+			CacheMisses:           ws.CacheMisses,
+			CacheEvictions:        ws.CacheEvictions,
+		})
 	}
 	if writeErr2 != nil {
 		if isAbort(writeErr2) {
@@ -589,7 +620,7 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 			if e, err := s.reg.Get(sess.Automaton); err == nil {
 				s.countMatches(e, len(ms))
 			}
-			s.engineSwitches.Add(switches)
+			countWrite()
 			s.writeAbort(w, writeErr2, func(resp *abortResponse) {
 				resp.Matches = toMatchJSON(ms)
 				resp.Offset = offset
@@ -604,7 +635,7 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	s.streamBytes.Add(int64(len(chunk)))
 	s.countEngineSteps(sess.Engine, len(chunk))
-	s.engineSwitches.Add(switches)
+	countWrite()
 	resp := streamWriteResponse{Matches: toMatchJSON(ms), Offset: offset}
 	if resp.Matches == nil {
 		resp.Matches = []matchJSON{}

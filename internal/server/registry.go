@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +46,8 @@ var (
 	ErrBadName     = errors.New(`server: name must match [A-Za-z0-9_.:-]{1,64}`)
 	ErrNoPatterns  = errors.New("server: at least one pattern required")
 	ErrUnknownKind = errors.New(`server: kind must be "regex", "hamming" or "levenshtein"`)
-	ErrBadEngine   = errors.New(`server: engine must be "auto", "sparse" or "bit"`)
+	ErrBadEngine   = errors.New("server: engine must be one of " +
+		`"` + strings.Join(pap.EngineKindNames(), `", "`) + `"`)
 )
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.:-]{1,64}$`)

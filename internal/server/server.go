@@ -99,13 +99,17 @@ type Server struct {
 	started  time.Time
 
 	// Pre-created instruments on hot paths.
-	latency        map[string]*Histogram
-	poolRejected   *Counter
-	streamBytes    *Counter
-	cancellations  map[string]*Counter
-	speedupHist    *Histogram
-	engineSteps    [3]*Counter // indexed by pap.EngineKind
-	engineSwitches *Counter
+	latency          map[string]*Histogram
+	poolRejected     *Counter
+	streamBytes      *Counter
+	cancellations    map[string]*Counter
+	speedupHist      *Histogram
+	engineSteps      []*Counter // indexed by pap.EngineKind
+	engineSwitches   *Counter
+	prefilterSkipped *Counter
+	lazyCacheHits    *Counter
+	lazyCacheMisses  *Counter
+	lazyCacheEvicts  *Counter
 }
 
 // New assembles a server from the config.
@@ -130,13 +134,23 @@ func New(cfg Config) *Server {
 	s.speedupHist = m.Histogram("papd_parallel_speedup",
 		"Modelled AP speedup of parallel matches over the sequential AP baseline.",
 		"", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
-	for _, k := range []pap.EngineKind{pap.EngineAuto, pap.EngineSparse, pap.EngineBit} {
+	names := pap.EngineKindNames()
+	s.engineSteps = make([]*Counter, len(names))
+	for k := range names {
 		s.engineSteps[k] = m.Counter("papd_engine_steps_total",
 			"Input symbols stepped through execution engines, by configured engine.",
-			fmt.Sprintf("engine=%q", k))
+			fmt.Sprintf("engine=%q", pap.EngineKind(k)))
 	}
 	s.engineSwitches = m.Counter("papd_engine_switches_total",
 		"Sparse-dense representation switches made by adaptive engines.", "")
+	s.prefilterSkipped = m.Counter("papd_prefilter_skipped_bytes_total",
+		"Input bytes the literal/class prefilter proved inert and never stepped.", "")
+	s.lazyCacheHits = m.Counter("papd_lazydfa_cache_hits_total",
+		"Lazy-DFA state-cache edge hits.", "")
+	s.lazyCacheMisses = m.Counter("papd_lazydfa_cache_misses_total",
+		"Lazy-DFA state-cache edge misses (determinizations).", "")
+	s.lazyCacheEvicts = m.Counter("papd_lazydfa_cache_evictions_total",
+		"Lazy-DFA cached states discarded by cache flushes.", "")
 	s.cancellations = make(map[string]*Counter)
 	for _, reason := range []string{"deadline", "client_gone"} {
 		s.cancellations[reason] = m.Counter("papd_match_cancellations_total",

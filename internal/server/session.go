@@ -29,8 +29,37 @@ type Session struct {
 	lastUsed  time.Time
 	matches   int64
 	writes    int64
-	lastSwtch int64 // stream switch count at the previous Write, for deltas
+	lastSwtch int64          // stream switch count at the previous Write, for deltas
+	lastInfo  pap.EngineInfo // stream engine counters at the previous Write, for deltas
 	closed    bool
+}
+
+// WriteStats is the per-write delta of backend counters, for metrics:
+// how many adaptive representation switches, prefilter-skipped bytes and
+// lazy-DFA cache events this one write caused.
+type WriteStats struct {
+	Switches         int64
+	PrefilterSkipped int64
+	CacheHits        int64
+	CacheMisses      int64
+	CacheEvictions   int64
+}
+
+// delta computes the counter movement since the previous write and
+// advances the high-water marks. Callers hold s.mu.
+func (s *Session) delta() WriteStats {
+	sw := s.stream.EngineSwitches()
+	info := s.stream.EngineInfo()
+	d := WriteStats{
+		Switches:         sw - s.lastSwtch,
+		PrefilterSkipped: info.PrefilterSkippedBytes - s.lastInfo.PrefilterSkippedBytes,
+		CacheHits:        info.CacheHits - s.lastInfo.CacheHits,
+		CacheMisses:      info.CacheMisses - s.lastInfo.CacheMisses,
+		CacheEvictions:   info.CacheEvictions - s.lastInfo.CacheEvictions,
+	}
+	s.lastSwtch = sw
+	s.lastInfo = info
+	return d
 }
 
 // ErrSessionNotFound is returned for unknown or expired session IDs.
@@ -51,27 +80,32 @@ type SessionInfo struct {
 	Matches        int64     `json:"matches"`
 	ActiveStates   int       `json:"active_states"`
 	EngineSwitches int64     `json:"engine_switches"`
+	// PrefilterSkipped counts input bytes the stream's prefilter proved
+	// inert and never stepped (EngineMeta only).
+	PrefilterSkipped int64 `json:"prefilter_skipped,omitempty"`
+	// CacheHits/CacheMisses are lazy-DFA state-cache counters
+	// (EngineLazyDFA and EngineMeta only).
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // Write feeds one chunk to the session's stream and returns a copy of the
-// completed matches, the stream offset after the write, and the number of
-// adaptive engine representation switches this write caused.
-func (s *Session) Write(chunk []byte) ([]pap.Match, int64, int64, error) {
+// completed matches, the stream offset after the write, and the backend
+// counter deltas this write caused.
+func (s *Session) Write(chunk []byte) ([]pap.Match, int64, WriteStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, 0, 0, ErrSessionNotFound
+		return nil, 0, WriteStats{}, ErrSessionNotFound
 	}
 	ms := s.stream.Write(chunk)
 	out := make([]pap.Match, len(ms))
 	copy(out, ms) // the stream reuses its slice; callers get a stable copy
 	s.matches += int64(len(ms))
 	s.writes++
-	sw := s.stream.EngineSwitches()
-	dsw := sw - s.lastSwtch
-	s.lastSwtch = sw
+	d := s.delta()
 	s.lastUsed = time.Now().UTC()
-	return out, s.stream.Offset(), dsw, nil
+	return out, s.stream.Offset(), d, nil
 }
 
 // WriteContext is Write under a context: a cancelled or expired ctx stops
@@ -82,39 +116,41 @@ func (s *Session) Write(chunk []byte) ([]pap.Match, int64, int64, error) {
 // mutex is held for the duration, so an expiry racing an in-flight write
 // either waits for it or closes the session before it starts; a write
 // never lands on a closed stream.
-func (s *Session) WriteContext(ctx context.Context, chunk []byte) ([]pap.Match, int64, int64, error) {
+func (s *Session) WriteContext(ctx context.Context, chunk []byte) ([]pap.Match, int64, WriteStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, 0, 0, ErrSessionNotFound
+		return nil, 0, WriteStats{}, ErrSessionNotFound
 	}
 	ms, err := s.stream.WriteContext(ctx, chunk)
 	out := make([]pap.Match, len(ms))
 	copy(out, ms) // the stream reuses its slice; callers get a stable copy
 	s.matches += int64(len(ms))
 	s.writes++
-	sw := s.stream.EngineSwitches()
-	dsw := sw - s.lastSwtch
-	s.lastSwtch = sw
+	d := s.delta()
 	s.lastUsed = time.Now().UTC()
-	return out, s.stream.Offset(), dsw, err
+	return out, s.stream.Offset(), d, err
 }
 
 // Info snapshots the session state.
 func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	info := s.stream.EngineInfo()
 	return SessionInfo{
-		ID:             s.ID,
-		Automaton:      s.Automaton,
-		Engine:         s.Engine.String(),
-		Created:        s.Created,
-		LastUsed:       s.lastUsed,
-		Offset:         s.stream.Offset(),
-		Writes:         s.writes,
-		Matches:        s.matches,
-		ActiveStates:   s.stream.ActiveStates(),
-		EngineSwitches: s.stream.EngineSwitches(),
+		ID:               s.ID,
+		Automaton:        s.Automaton,
+		Engine:           s.Engine.String(),
+		Created:          s.Created,
+		LastUsed:         s.lastUsed,
+		Offset:           s.stream.Offset(),
+		Writes:           s.writes,
+		Matches:          s.matches,
+		ActiveStates:     s.stream.ActiveStates(),
+		EngineSwitches:   s.stream.EngineSwitches(),
+		PrefilterSkipped: info.PrefilterSkippedBytes,
+		CacheHits:        info.CacheHits,
+		CacheMisses:      info.CacheMisses,
 	}
 }
 

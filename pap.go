@@ -72,13 +72,29 @@ const (
 	// EngineBit forces the AP-faithful dense bit-vector engine: cost
 	// proportional to the automaton size; fastest on dense frontiers.
 	EngineBit
+	// EngineLazyDFA forces the lazy-DFA engine: recurring frontiers are
+	// determinized once into a bounded fingerprint-keyed cache and then
+	// replayed as single cached-edge lookups, falling back to the sparse
+	// engine on cache blowup.
+	EngineLazyDFA
+	// EngineMeta selects the regime-matched meta stack: literal/class
+	// prefiltering skips quiet (dead-frontier) input at scan speed, the
+	// lazy DFA serves recurring frontiers from its cache, and the
+	// adaptive sparse/bit selector takes over on cache blowup.
+	EngineMeta
 )
 
-// String returns the parseable engine name ("auto", "sparse", "bit").
+// EngineKindNames returns the parseable names of every backend, in
+// EngineKind order ("auto", "sparse", "bit", "lazydfa", "meta").
+func EngineKindNames() []string { return engine.KindNames() }
+
+// String returns the parseable engine name (see EngineKindNames).
 func (k EngineKind) String() string { return k.toKind().String() }
 
 // ParseEngineKind parses an engine name: "auto" (or "adaptive", or the
-// empty string), "sparse", "bit" (or "dense").
+// empty string), "sparse", "bit" (or "dense"), "lazydfa" (or
+// "lazy-dfa"), "meta". Unknown names return an error listing the valid
+// kinds.
 func ParseEngineKind(s string) (EngineKind, error) {
 	kind, err := engine.ParseKind(s)
 	if err != nil {
@@ -89,6 +105,10 @@ func ParseEngineKind(s string) (EngineKind, error) {
 		return EngineSparse, nil
 	case engine.BitKind:
 		return EngineBit, nil
+	case engine.LazyDFAKind:
+		return EngineLazyDFA, nil
+	case engine.MetaKind:
+		return EngineMeta, nil
 	default:
 		return EngineAuto, nil
 	}
@@ -100,6 +120,10 @@ func (k EngineKind) toKind() engine.Kind {
 		return engine.SparseKind
 	case EngineBit:
 		return engine.BitKind
+	case EngineLazyDFA:
+		return engine.LazyDFAKind
+	case EngineMeta:
+		return engine.MetaKind
 	default:
 		return engine.Auto
 	}
@@ -282,9 +306,50 @@ func (a *Automaton) Match(input []byte) []Match {
 
 // MatchWith is Match on an explicitly selected execution backend. All
 // backends return identical matches; see EngineKind for the trade-offs.
+// Match-only runs enable the full prefilter (including the report-exact
+// literal scanner) under EngineMeta, so quiet inputs are scanned rather
+// than stepped.
 func (a *Automaton) MatchWith(input []byte, k EngineKind) []Match {
-	res := engine.RunEngine(a.n, input, k.toKind(), a.tables())
-	return toMatches(engine.DedupeReports(res.Reports))
+	ms, _ := a.matchInfo(input, k)
+	return ms
+}
+
+// EngineInfo reports backend observability counters from one match or
+// stream: how much input the prefilter skipped and how the lazy-DFA
+// state cache behaved. All fields are 0 for backends without the
+// corresponding machinery.
+type EngineInfo struct {
+	// PrefilterSkippedBytes counts input bytes never stepped because the
+	// prefilter proved them inert on a dead frontier.
+	PrefilterSkippedBytes int64
+	// CacheHits/CacheMisses/CacheEvictions are lazy-DFA state-cache
+	// counters (EngineLazyDFA and EngineMeta).
+	CacheHits, CacheMisses, CacheEvictions int64
+	// CacheFellBack reports that the lazy DFA abandoned its cache and
+	// fell back permanently to its inner engine.
+	CacheFellBack bool
+}
+
+func infoOf(res engine.Result) EngineInfo {
+	return EngineInfo{
+		PrefilterSkippedBytes: res.PrefilterSkipped,
+		CacheHits:             res.Cache.Hits,
+		CacheMisses:           res.Cache.Misses,
+		CacheEvictions:        res.Cache.Evictions,
+		CacheFellBack:         res.Cache.FellBack,
+	}
+}
+
+// MatchWithInfo is MatchWith, additionally returning the backend's
+// observability counters (papd surfaces them as metrics).
+func (a *Automaton) MatchWithInfo(input []byte, k EngineKind) ([]Match, EngineInfo) {
+	return a.matchInfo(input, k)
+}
+
+func (a *Automaton) matchInfo(input []byte, k EngineKind) ([]Match, EngineInfo) {
+	res := engine.RunEngineOpts(a.n, input, k.toKind(), a.tables(),
+		engine.RunOpts{LiteralPrefilter: true})
+	return toMatches(engine.DedupeReports(res.Reports)), infoOf(res)
 }
 
 // MatchContext is Match under a context: a cancelled or expired ctx stops
@@ -298,14 +363,23 @@ func (a *Automaton) MatchContext(ctx context.Context, input []byte) ([]Match, er
 
 // MatchWithContext is MatchContext on an explicit execution backend.
 func (a *Automaton) MatchWithContext(ctx context.Context, input []byte, k EngineKind) ([]Match, error) {
-	res, pos, err := engine.RunEngineContext(ctx, a.n, input, k.toKind(), a.tables(), 0)
+	ms, _, err := a.MatchWithInfoContext(ctx, input, k)
+	return ms, err
+}
+
+// MatchWithInfoContext is MatchWithContext, additionally returning the
+// backend's observability counters (valid even on abort, covering the
+// processed prefix).
+func (a *Automaton) MatchWithInfoContext(ctx context.Context, input []byte, k EngineKind) ([]Match, EngineInfo, error) {
+	res, pos, err := engine.RunEngineOptsContext(ctx, a.n, input, k.toKind(), a.tables(), 0,
+		engine.RunOpts{LiteralPrefilter: true})
 	if err != nil {
-		return nil, &AbortError{
+		return nil, infoOf(res), &AbortError{
 			Cause:    err,
 			Progress: []SegmentProgress{{Index: 0, Start: 0, End: len(input), Pos: pos}},
 		}
 	}
-	return toMatches(engine.DedupeReports(res.Reports)), nil
+	return toMatches(engine.DedupeReports(res.Reports)), infoOf(res), nil
 }
 
 func toMatches(reports []engine.Report) []Match {
@@ -417,6 +491,11 @@ type RunStats struct {
 	// EngineSwitches counts sparse⇄dense representation switches made by
 	// adaptive engines across all flows (0 for fixed backends).
 	EngineSwitches int64
+	// PrefilterSkippedBytes counts input bytes the simulator's prefilter
+	// proved inert and never stepped, across all flows and the golden
+	// boundary run. Pure simulator observability: skipped symbols are
+	// still charged their modelled AP cycles.
+	PrefilterSkippedBytes int64
 	// Verified confirms the composed matches equalled sequential matching
 	// (always true; a false value would be a library bug).
 	Verified bool
@@ -495,18 +574,19 @@ func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg 
 	return &Report{
 		Matches: toMatches(res.Reports),
 		Stats: RunStats{
-			Segments:          res.Plan.Segments,
-			Speedup:           res.Speedup,
-			IdealSpeedup:      res.IdealSpeedup,
-			BaselineNS:        res.BaselineCycles.Nanoseconds(),
-			ParallelNS:        res.TotalCycles.Nanoseconds(),
-			CutSymbol:         res.Plan.CutSym,
-			CutRange:          a.n.RangeSize(res.Plan.CutSym),
-			AvgActiveFlows:    res.AvgActiveFlows,
-			SwitchOverheadPct: res.SwitchOverheadPct,
-			FalseReportRatio:  res.ReportIncrease,
-			EngineSwitches:    res.EngineSwitches,
-			Verified:          res.Correct,
+			Segments:              res.Plan.Segments,
+			Speedup:               res.Speedup,
+			IdealSpeedup:          res.IdealSpeedup,
+			BaselineNS:            res.BaselineCycles.Nanoseconds(),
+			ParallelNS:            res.TotalCycles.Nanoseconds(),
+			CutSymbol:             res.Plan.CutSym,
+			CutRange:              a.n.RangeSize(res.Plan.CutSym),
+			AvgActiveFlows:        res.AvgActiveFlows,
+			SwitchOverheadPct:     res.SwitchOverheadPct,
+			FalseReportRatio:      res.ReportIncrease,
+			EngineSwitches:        res.EngineSwitches,
+			PrefilterSkippedBytes: res.PrefilterSkipped,
+			Verified:              res.Correct,
 		},
 	}, nil
 }

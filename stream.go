@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"pap/internal/engine"
+	"pap/internal/prefilter"
 )
 
 // ErrStreamClosed is returned by Stream.WriteContext after Close.
@@ -27,7 +28,14 @@ type Stream struct {
 	a      *Automaton
 	kind   EngineKind
 	eng    engine.Engine
+	pf     *prefilter.Prefilter // non-nil only when the backend carries a useful one
 	offset int64
+	// skipped counts bytes proven inert by the prefilter and never
+	// stepped. Only the class scanner runs here — it is exact per byte,
+	// so chunk boundaries (and literals straddling them) need no special
+	// handling: the first byte of any viable trace is in the start class
+	// and stops the skip.
+	skipped int64
 	// scratch accumulates the current chunk's matches and reports
 	// accumulates its raw report events; both are reused across Write
 	// calls, and emit is allocated once here, so steady-state writes
@@ -53,6 +61,7 @@ func (a *Automaton) NewStream(opts ...StreamOption) *Stream {
 		opt(s)
 	}
 	s.eng = s.newEngine()
+	s.pf = engine.PrefilterOf(s.eng)
 	s.emit = func(r engine.Report) { s.reports = append(s.reports, r) }
 	return s
 }
@@ -83,8 +92,18 @@ func (s *Stream) Write(chunk []byte) []Match {
 	}
 	s.scratch = s.scratch[:0]
 	s.reports = s.reports[:0]
-	for _, sym := range chunk {
-		s.eng.Step(sym, s.offset, s.emit)
+	for i := 0; i < len(chunk); i++ {
+		if s.pf != nil && s.eng.Dead() {
+			if j := s.pf.Next(chunk, i); j > i {
+				s.offset += int64(j - i)
+				s.skipped += int64(j - i)
+				i = j
+				if i >= len(chunk) {
+					break
+				}
+			}
+		}
+		s.eng.Step(chunk[i], s.offset, s.emit)
 		s.offset++
 	}
 	for _, r := range engine.DedupeReports(s.reports) {
@@ -113,14 +132,27 @@ func (s *Stream) WriteContext(ctx context.Context, chunk []byte) ([]Match, error
 	s.scratch = s.scratch[:0]
 	s.reports = s.reports[:0]
 	var ctxErr error
-	for i, sym := range chunk {
+	// ctx is polled every streamCtxEvery stepped symbols; a prefilter skip
+	// may jump over a poll offset, which only delays the next poll — skips
+	// are bounded by the chunk and cost no per-symbol work anyway.
+	for i := 0; i < len(chunk); i++ {
 		if i%streamCtxEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				ctxErr = err
 				break
 			}
 		}
-		s.eng.Step(sym, s.offset, s.emit)
+		if s.pf != nil && s.eng.Dead() {
+			if j := s.pf.Next(chunk, i); j > i {
+				s.offset += int64(j - i)
+				s.skipped += int64(j - i)
+				i = j
+				if i >= len(chunk) {
+					break
+				}
+			}
+		}
+		s.eng.Step(chunk[i], s.offset, s.emit)
 		s.offset++
 	}
 	for _, r := range engine.DedupeReports(s.reports) {
@@ -160,19 +192,35 @@ func (s *Stream) ActiveStates() int { return s.eng.FrontierLen() }
 func (s *Stream) Engine() EngineKind { return s.kind }
 
 // EngineSwitches returns the number of sparse⇄dense representation
-// switches the backend has made (always 0 for fixed backends).
-func (s *Stream) EngineSwitches() int64 {
-	if a, ok := s.eng.(*engine.Adaptive); ok {
-		return a.Switches()
+// switches the backend has made (always 0 for fixed backends; for
+// EngineMeta this counts the inner adaptive fallback, if engaged).
+func (s *Stream) EngineSwitches() int64 { return engine.SwitchesOf(s.eng) }
+
+// PrefilterSkipped returns the number of input bytes the stream's
+// prefilter proved inert and never stepped (0 unless the backend carries
+// a prefilter, i.e. EngineMeta over a ruleset with a narrow start class).
+func (s *Stream) PrefilterSkipped() int64 { return s.skipped }
+
+// EngineInfo returns the stream's cumulative backend observability
+// counters since creation or the last Reset.
+func (s *Stream) EngineInfo() EngineInfo {
+	cs := engine.CacheStatsOf(s.eng)
+	return EngineInfo{
+		PrefilterSkippedBytes: s.skipped,
+		CacheHits:             cs.Hits,
+		CacheMisses:           cs.Misses,
+		CacheEvictions:        cs.Evictions,
+		CacheFellBack:         cs.FellBack,
 	}
-	return 0
 }
 
 // Reset rewinds the stream to offset 0 and the start configuration,
 // reopening it if it was closed.
 func (s *Stream) Reset() {
 	s.eng = s.newEngine()
+	s.pf = engine.PrefilterOf(s.eng)
 	s.offset = 0
+	s.skipped = 0
 	s.scratch = s.scratch[:0]
 	s.closed = false
 }
