@@ -7,7 +7,7 @@ GO ?= go
 COVER_MIN ?= 85.0
 
 .PHONY: all build test vet race fuzz bench bench-segments bench-prefilter \
-	experiments report serve clean conformance cover chaos vulncheck
+	bench-sfa experiments report serve clean conformance cover chaos vulncheck
 
 all: build vet test
 
@@ -23,12 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over the three fuzz targets (engine agreement,
-# regex-vs-stdlib, and end-to-end PAP equivalence).
+# Short fuzz passes over the fuzz targets (engine agreement,
+# regex-vs-stdlib, end-to-end PAP equivalence, and flow-vs-SFA mode
+# equivalence).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzCompileAgainstStdlib -fuzztime 30s ./internal/regex/
 	$(GO) test -run xxx -fuzz FuzzParallelEquivalence -fuzztime 30s ./internal/core/
+	$(GO) test -run xxx -fuzz FuzzSFAEquivalence -fuzztime 30s ./internal/core/
 
 # Differential conformance sweep against the reference oracle (see
 # docs/TESTING.md); `go test ./internal/conformance` runs a smaller one.
@@ -73,6 +75,11 @@ bench:
 # BENCH_segments.json; the parallel win scales with real cores).
 bench-segments:
 	$(GO) test -run xxx -bench BenchmarkExecuteSegments -benchmem -count 3 ./internal/core/
+
+# Flow-enumeration vs SFA function-composition execution modes across
+# workload regimes and segment counts (the numbers behind BENCH_sfa.json).
+bench-sfa:
+	$(GO) test -run xxx -bench BenchmarkModeComparison -benchmem -benchtime 5x -count 3 ./internal/core/
 
 # Prefilter regimes and lazy-DFA density rows (the numbers behind
 # BENCH_prefilter.json and the lazydfa/meta rows of BENCH_engines.json),

@@ -7,7 +7,7 @@
 //
 //	papd [-addr :8461] [-workers N] [-queue N] [-timeout 30s]
 //	     [-max-match-duration 0] [-stream-idle 10m] [-max-body 16777216]
-//	     [-engine auto] [-preload name=patterns.txt]...
+//	     [-engine auto] [-mode flows] [-preload name=patterns.txt]...
 //
 // Each -preload flag registers a regex ruleset at startup from a file of
 // one pattern per line (blank lines and #-comment lines skipped);
@@ -100,11 +100,18 @@ func main() {
 			"default execution backend for preloaded rulesets: "+
 				strings.Join(pap.EngineKindNames(), ", "))
 		serialSegs = flag.Bool("serial-segments", false, "default parallel-mode matches to the serial cross-segment scheduler")
-		preloads   preloadFlag
+		execMode   = flag.String("mode", "flows",
+			"default parallel execution mode (requests may override with mode=sfa): "+
+				strings.Join(pap.ExecModeNames(), ", "))
+		preloads preloadFlag
 	)
 	flag.Var(&preloads, "preload", "register a ruleset at startup: name=patterns.txt (repeatable)")
 	flag.Parse()
 
+	mode, err := pap.ParseExecMode(*execMode)
+	if err != nil {
+		log.Fatalf("papd: %v", err)
+	}
 	s := server.New(server.Config{
 		Addr:              *addr,
 		Workers:           *workers,
@@ -114,6 +121,7 @@ func main() {
 		StreamIdleTimeout: *streamIdle,
 		MaxBodyBytes:      *maxBody,
 		SerialSegments:    *serialSegs,
+		DefaultExecMode:   mode,
 	})
 	if err := preload(s, preloads.specs, *engine); err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 //	paprun -rules rules.txt -input data.bin              # sequential
 //	paprun -rules rules.txt -input data.bin -parallel -ranks 4
 //	paprun -rules rules.txt -input data.bin -engine bit  # force a backend
+//	paprun -rules rules.txt -input data.bin -parallel -mode sfa
 //	echo 'GET /admin' | paprun -rules rules.txt -parallel
 //
 // The rules file contains one pattern per line; blank lines and lines
@@ -37,6 +38,8 @@ func main() {
 		maxPrint  = flag.Int("max-print", 20, "print at most this many matches")
 		engName   = flag.String("engine", "auto",
 			"execution backend: "+strings.Join(pap.EngineKindNames(), ", "))
+		modeName = flag.String("mode", "flows",
+			"parallel execution mode: "+strings.Join(pap.ExecModeNames(), ", "))
 	)
 	flag.Parse()
 
@@ -45,13 +48,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paprun:", err)
 		os.Exit(1)
 	}
-	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint, engine); err != nil {
+	mode, err := pap.ParseExecMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paprun:", err)
+		os.Exit(1)
+	}
+	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint, engine, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "paprun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int, engine pap.EngineKind) error {
+func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int, engine pap.EngineKind, mode pap.ExecMode) error {
 	var a *pap.Automaton
 	sources := 0
 	for _, p := range []string{rulesPath, anmlPath, mnrlPath} {
@@ -104,18 +112,23 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 	if parallel {
 		cfg := pap.DefaultConfig(ranks)
 		cfg.Engine = engine
+		cfg.Mode = mode
 		rep, err := a.MatchParallel(input, cfg)
 		if err != nil {
 			return err
 		}
 		matches = rep.Matches
 		s := rep.Stats
-		fmt.Printf("parallel: %d segments, cut symbol %q (range %d)\n",
-			s.Segments, s.CutSymbol, s.CutRange)
+		fmt.Printf("parallel (%s mode): %d segments, cut symbol %q (range %d)\n",
+			s.Mode, s.Segments, s.CutSymbol, s.CutRange)
 		fmt.Printf("modelled AP time: %.1f µs sequential -> %.1f µs parallel (%.2fx of ideal %.0fx)\n",
 			s.BaselineNS/1e3, s.ParallelNS/1e3, s.Speedup, s.IdealSpeedup)
 		fmt.Printf("flows: %.1f avg active; switching overhead %.2f%%; report inflation %.2fx\n",
 			s.AvgActiveFlows, s.SwitchOverheadPct, s.FalseReportRatio)
+		if s.SFAMappings > 0 {
+			fmt.Printf("sfa: %d mapping classes, %d compose ops, %d fingerprint collisions\n",
+				s.SFAMappings, s.SFAComposeOps, s.FingerprintCollisions)
+		}
 	} else {
 		matches = a.MatchWith(input, engine)
 	}

@@ -70,6 +70,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 	if inv, d := checkSchedulerParity(c, oracle, sub); inv != "" {
 		return inv, d
 	}
+	if inv, d := checkSFAMode(c, oracle, sub); inv != "" {
+		return inv, d
+	}
 	if inv, d := checkCancellation(c, oracle, sub); inv != "" {
 		return inv, d
 	}
@@ -359,6 +362,55 @@ func checkSchedulerParity(c *Case, oracle []engine.Report, rng *rand.Rand) (stri
 	return "", ""
 }
 
+// checkSFAMode asserts the SFA function-composition execution mode is a
+// third must-agree path: oracle ≡ flow mode ≡ SFA mode, on every engine
+// backend and under both schedulers, with the serial and parallel SFA
+// runs additionally bit-identical in every modelled metric (the same
+// parity contract flow mode honours).
+func checkSFAMode(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	base := parallelConfig(rng, false)
+	base.Speculate = false // SFA mode rejects speculation by contract
+	flowRef, err := core.Run(c.NFA, c.Input, base)
+	if err != nil {
+		return "sfa-mode", fmt.Sprintf("flow-mode reference core.Run: %v (cfg %+v)", err, base)
+	}
+	for _, kind := range engineKinds {
+		cfg := base
+		cfg.Engine = kind
+		cfg.Mode = core.ModeSFA
+		name := "sfa-mode/" + kind.String()
+
+		ser := cfg
+		ser.SegmentParallel = false
+		par := cfg
+		par.SegmentParallel = true
+		rs, err := core.Run(c.NFA, c.Input, ser)
+		if err != nil {
+			return name, fmt.Sprintf("serial core.Run: %v (cfg %+v)", err, ser)
+		}
+		rp, err := core.Run(c.NFA, c.Input, par)
+		if err != nil {
+			return name, fmt.Sprintf("parallel core.Run: %v (cfg %+v)", err, par)
+		}
+		if err := rs.CheckCorrect(); err != nil {
+			return name, fmt.Sprintf("%v (cfg %+v)", err, ser)
+		}
+		if d := diffReports(oracle, rs.Reports); d != "" {
+			return name, "sfa vs oracle: " + d + fmt.Sprintf(" (cfg %+v)", ser)
+		}
+		if d := diffReports(flowRef.Reports, rs.Reports); d != "" {
+			return name, "sfa vs flow mode: " + d + fmt.Sprintf(" (cfg %+v)", ser)
+		}
+		if d := diffResultMetrics(rs, rp); d != "" {
+			return name, "scheduler parity: " + d + fmt.Sprintf(" (cfg %+v)", cfg)
+		}
+	}
+	return "", ""
+}
+
 // checkCancellation asserts the cancellation contract on both schedulers:
 // a run cancelled at a pseudo-random modelled round boundary returns the
 // context error (wrapped in *core.Aborted with sane per-segment progress)
@@ -462,6 +514,10 @@ func diffResultMetrics(a, b *core.Result) string {
 		{"MispredictedSegments", a.MispredictedSegments, b.MispredictedSegments},
 		{"PrefilterSkipped", a.PrefilterSkipped, b.PrefilterSkipped},
 		{"CapacityNote", a.CapacityNote, b.CapacityNote},
+		{"Mode", a.Mode, b.Mode},
+		{"SFAMappings", a.SFAMappings, b.SFAMappings},
+		{"SFAComposeOps", a.SFAComposeOps, b.SFAComposeOps},
+		{"FingerprintCollisions", a.FingerprintCollisions, b.FingerprintCollisions},
 	}
 	for _, s := range scalars {
 		if s.a != s.b {

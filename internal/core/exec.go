@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync"
 
 	"pap/internal/ap"
@@ -35,6 +35,20 @@ type flowRun struct {
 	symbols int64 // symbols actually processed (early kills process fewer)
 	trans   int64
 	skipped int64 // symbols covered by prefilter skips (subset of symbols)
+
+	// classUnit is the index of one unit of this flow's frontier-
+	// equivalence class (SFA mode only; every unit of the class shares one
+	// truth value, so one index suffices for the exit-composition lookup).
+	classUnit int
+	// mergedInto records the convergence survivor that absorbed this flow:
+	// equal state vectors evolve identically, so the survivor's exit
+	// context stands in for this flow's (SFA composition follows the
+	// chain). nil for live, deactivated, and FIV-killed flows.
+	mergedInto *flowRun
+	// ctxBuf is the flow's reusable frontier scratch: the per-round SVC
+	// save and the round-0 probe compares fill it in place instead of
+	// allocating a fresh sorted slice per round (the SVC copies on Save).
+	ctxBuf []nfa.StateID
 }
 
 // segmentResult aggregates one segment's functional and timing outcomes.
@@ -64,9 +78,15 @@ type segmentResult struct {
 	PrefilterSkip int64 // input bytes covered by prefilter skips (simulator
 	// fast path; the modelled cycles still charge every covered symbol)
 
+	SFAMappings  int   // SFA mode: frontier-equivalence classes run
+	ComposeOps   int64 // SFA mode: boundary-composition set operations
+	FPCollisions int64 // verified fingerprint collisions (hash hit, sets differ)
+
 	flows    []*flowRun
 	svc      *ap.SVC // flow context store (one SVC per replica)
 	unitTrue []bool  // truth of this segment's units at its start boundary
+
+	convScratch []convEntry // reusable convergence sort buffer (no per-check allocs)
 
 	// err and pos record an aborted segment: the cancellation, injected
 	// fault, or recovered panic that stopped it, and the input offset its
@@ -204,7 +224,7 @@ func (p *Plan) runSegmentRounds(ctx context.Context, seg *segmentResult, input [
 
 	pos := seg.Start
 	round := 0
-	fivApplied := cfg.DisableFIV
+	fivApplied := !p.fivEnabled()
 	for pos < seg.End {
 		seg.pos = pos
 		if err := cfg.fire(faultinject.RoundStep, seg.Index, round); err != nil {
@@ -289,14 +309,31 @@ func (p *Plan) runSegmentRounds(ctx context.Context, seg *segmentResult, input [
 		// baseline also kills the flow: its full vector then equals the
 		// ASG flow's and the two evolve identically forever.
 		if !cfg.DisableDeactivation && asgFlow.asg {
-			asgCtx, _ := seg.svc.Load(asgFlow.svcID)
+			asgCtx, asgFP := seg.svc.Load(asgFlow.svcID)
 			for _, f := range seg.flows[1:] {
 				if !f.alive {
 					continue
 				}
-				ctx, _ := seg.svc.Load(f.svcID)
-				if len(ctx) == 0 ||
-					(cfg.AbsorbDeactivation && subsetOf(ctx, asgCtx)) {
+				ctx, fp := seg.svc.Load(f.svcID)
+				dead := len(ctx) == 0
+				if !dead && cfg.AbsorbDeactivation {
+					// Equal-length subset means equality, which the SVC
+					// comparator decides by fingerprint: a hash mismatch
+					// skips the sorted walk entirely, a hash hit is
+					// verified (collisions counted). Shorter vectors
+					// still need the containment walk.
+					if len(ctx) == len(asgCtx) {
+						if fp == asgFP {
+							dead = equalContexts(ctx, asgCtx)
+							if !dead {
+								seg.FPCollisions++
+							}
+						}
+					} else {
+						dead = subsetOf(ctx, asgCtx)
+					}
+				}
+				if dead {
 					f.alive = false
 					seg.Deactivations++
 				}
@@ -423,7 +460,10 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 			if !dead && p.Cfg.AbsorbDeactivation {
 				// The flow's hardware vector equals the ASG flow's exactly
 				// when its enumeration activity is inside the baseline's.
-				dead = subsetOf(frontierOf(e), s.frontier)
+				// The snapshot is sorted, so containment is a binary
+				// search per state — no per-probe sort or allocation.
+				f.ctxBuf = e.AppendFrontier(f.ctxBuf[:0])
+				dead = subsetOfSorted(f.ctxBuf, s.frontier)
 			}
 			if dead {
 				f.alive = false
@@ -436,7 +476,11 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 			probe++
 		}
 	}
-	seg.svc.Save(f.svcID, frontierOf(e), e.Fingerprint())
+	// Save through the flow's reusable buffer: the SVC copies on Save, so
+	// the per-round sorted-frontier allocation frontierOf used to pay is
+	// gone from the hot loop.
+	f.ctxBuf = appendFrontierSorted(e, f.ctxBuf)
+	seg.svc.Save(f.svcID, f.ctxBuf, e.Fingerprint())
 	f.trans += e.Transitions() - t0
 	return trace
 }
@@ -457,10 +501,18 @@ func (p *Plan) prefilter() *prefilter.Prefilter {
 }
 
 // frontierOf materialises an engine's frontier as a fresh sorted slice.
+// Round-0 snapshots need owned copies; the per-round hot paths use
+// appendFrontierSorted over a reusable buffer instead.
 func frontierOf(e engine.Engine) []nfa.StateID {
-	ids := e.AppendFrontier(nil)
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return ids
+	return appendFrontierSorted(e, nil)
+}
+
+// appendFrontierSorted fills buf (reusing its capacity) with the engine's
+// frontier in sorted order and returns it.
+func appendFrontierSorted(e engine.Engine, buf []nfa.StateID) []nfa.StateID {
+	buf = e.AppendFrontier(buf[:0])
+	slices.Sort(buf)
+	return buf
 }
 
 // adaptiveSwitches returns the representation-switch count of an adaptive
@@ -470,39 +522,67 @@ func adaptiveSwitches(e engine.Engine) int64 {
 	return engine.SwitchesOf(e)
 }
 
+// convEntry pairs an alive flow with its comparator fingerprint for the
+// convergence grouping sort.
+type convEntry struct {
+	fp uint64
+	f  *flowRun
+}
+
 // convergeFlows merges flows with identical state vectors (§3.3.3). The
 // survivor inherits the absorbed flows' attribution from the merge offset
 // onward, so composition can still credit their units with the shared
 // continuation.
+//
+// Grouping sorts the alive flows by fingerprint in a reusable buffer
+// (stable, so the survivor is still the lowest-id flow of its group) —
+// the hash compare alone separates almost every pair, and the sorted
+// vector walk runs only on hash hits, where it either confirms the merge
+// or counts a verified collision. Zero allocations at steady state.
 func (p *Plan) convergeFlows(seg *segmentResult, off int64) {
-	groups := map[uint64][]*flowRun{}
+	sc := seg.convScratch[:0]
 	for _, f := range seg.flows[1:] {
 		if f.alive {
-			fp := seg.svc.Fingerprint(f.svcID)
-			groups[fp] = append(groups[fp], f)
+			sc = append(sc, convEntry{seg.svc.Fingerprint(f.svcID), f})
 			seg.ConvCompares++ // one comparator access per vector visited
 		}
 	}
-	for _, g := range groups {
-		if len(g) < 2 {
-			continue
+	seg.convScratch = sc
+	// Stable insertion sort by fingerprint: flow counts are small (bounded
+	// by the SVC plan), and stability keeps flows in id order within a
+	// group, matching the survivor choice of the map-based predecessor.
+	for i := 1; i < len(sc); i++ {
+		for k := i; k > 0 && sc[k].fp < sc[k-1].fp; k-- {
+			sc[k], sc[k-1] = sc[k-1], sc[k]
 		}
-		survivor := g[0]
-		sctx, _ := seg.svc.Load(survivor.svcID)
-		for _, f := range g[1:] {
-			seg.ConvCompares++
-			ctx, _ := seg.svc.Load(f.svcID)
-			if !equalContexts(ctx, sctx) {
-				continue // fingerprint collision: vectors differ, keep both
-			}
-			f.alive = false
-			f.merged = true
-			seg.svc.Invalidate(f.svcID)
-			seg.Convergences++
-			for _, a := range f.attrib {
-				survivor.attrib = append(survivor.attrib, attribEntry{CC: a.CC, Unit: a.Unit, From: off})
+	}
+	for i := 0; i < len(sc); {
+		k := i + 1
+		for k < len(sc) && sc[k].fp == sc[i].fp {
+			k++
+		}
+		if k-i >= 2 {
+			survivor := sc[i].f
+			sctx, _ := seg.svc.Load(survivor.svcID)
+			for _, e := range sc[i+1 : k] {
+				f := e.f
+				seg.ConvCompares++
+				ctx, _ := seg.svc.Load(f.svcID)
+				if !equalContexts(ctx, sctx) {
+					seg.FPCollisions++ // verified: same hash, vectors differ
+					continue
+				}
+				f.alive = false
+				f.merged = true
+				f.mergedInto = survivor
+				seg.svc.Invalidate(f.svcID)
+				seg.Convergences++
+				for _, a := range f.attrib {
+					survivor.attrib = append(survivor.attrib, attribEntry{CC: a.CC, Unit: a.Unit, From: off})
+				}
 			}
 		}
+		i = k
 	}
 }
 
@@ -524,6 +604,20 @@ func subsetOf(a, b []nfa.StateID) bool {
 	return true
 }
 
+// subsetOfSorted reports whether every id of a (any order, no duplicates —
+// an engine frontier) is contained in the sorted slice b.
+func subsetOfSorted(a, b []nfa.StateID) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for _, x := range a {
+		if _, ok := slices.BinarySearch(b, x); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 func equalContexts(a, b []nfa.StateID) bool {
 	if len(a) != len(b) {
 		return false
@@ -537,8 +631,8 @@ func equalContexts(a, b []nfa.StateID) bool {
 }
 
 func sortedIDs(ids []nfa.StateID) []nfa.StateID {
-	out := append([]nfa.StateID(nil), ids...)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	out := slices.Clone(ids)
+	slices.Sort(out)
 	return out
 }
 

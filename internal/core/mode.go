@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"pap/internal/engine"
+	"pap/internal/faultinject"
+	"pap/internal/nfa"
+)
+
+// Mode selects the parallel execution strategy. The zero value is the
+// paper's flow enumeration; ModeSFA replaces enumeration with SFA-style
+// function composition (Sin'ya et al.: run each segment once per distinct
+// entry frontier, compose the resulting entry→exit mappings left-to-right).
+type Mode uint8
+
+const (
+	// ModeFlows is the paper's strategy: enumerate one flow per packed
+	// enumeration unit, kill false flows via deactivation, convergence and
+	// Flow Invalidation Vectors, and filter reports by decoded unit truth.
+	ModeFlows Mode = iota
+	// ModeSFA runs each segment once per frontier-equivalence class (units
+	// whose non-baseline seeds coincide), records each class's entry→exit
+	// state mapping, and composes mappings at segment boundaries after the
+	// round loops finish — no FIV traffic, truth falls out of composition.
+	ModeSFA
+
+	maxMode = ModeSFA
+)
+
+var modeNames = [...]string{"flows", "sfa"}
+
+// ModeNames lists the accepted ParseMode spellings in Mode order.
+func ModeNames() []string { return append([]string(nil), modeNames[:]...) }
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode converts a mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for i, name := range modeNames {
+		if s == name {
+			return Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown execution mode %q (want one of %v)", s, modeNames[:])
+}
+
+// execMode is the execution-strategy seam of the round loop: how a
+// segment's flows are seeded before execution, and what (if anything) runs
+// after every segment's round loop has finished. The TDM loop itself
+// (runSegmentRounds), deactivation, convergence, the SVC, and both
+// schedulers are shared by all modes; a mode only decides what the flows
+// *mean* and how boundary truth is established.
+type execMode interface {
+	// usesFIV reports whether the mode consumes Flow Invalidation Vectors
+	// in-loop. When false, neither scheduler ever gates on a predecessor's
+	// truth cell and FIVApplied stays false on every segment.
+	usesFIV() bool
+	// seedSegment populates the enumeration flows (seg.flows[1:]) of one
+	// segment with Index > 0; the ASG flow and the golden flow of segment 0
+	// are seeded by the mode-independent buildSegments shell.
+	seedSegment(p *Plan, seg *segmentResult, bounds []engine.Boundary)
+	// finalize runs once after every segment's round loop has joined and
+	// before report composition, on the caller's goroutine. Errors (and
+	// recovered panics) land on the offending segment's err field.
+	finalize(p *Plan, segs []*segmentResult, bounds []engine.Boundary)
+}
+
+// execMode returns the strategy implementation for the configured Mode.
+func (p *Plan) execMode() execMode {
+	if p.Cfg.Mode == ModeSFA {
+		return sfaMode{}
+	}
+	return flowMode{}
+}
+
+// fivEnabled reports whether this run sends Flow Invalidation Vectors:
+// the mode must use them and the ablation switch must not disable them.
+func (p *Plan) fivEnabled() bool {
+	return p.execMode().usesFIV() && !p.Cfg.DisableFIV
+}
+
+// flowMode is the paper's enumeration strategy (§3.3): one flow per packed
+// FlowSpec, truth decoded from the golden boundary before execution, false
+// flows killed in-loop by the FIV.
+type flowMode struct{}
+
+func (flowMode) usesFIV() bool { return true }
+
+func (flowMode) seedSegment(p *Plan, seg *segmentResult, bounds []engine.Boundary) {
+	sp := p.SymbolPlanFor(seg.Sym)
+	seg.unitTrue = unitTruth(sp, bounds[seg.Index-1])
+	for fi, spec := range sp.Flows {
+		f := &flowRun{
+			id:    fi + 1,
+			alive: true,
+		}
+		seed := dropAllInput(sortedIDs(spec.Seed), p.NFA)
+		f.svcID = seg.svc.AllocOverflow(seed, fingerprintOf(seed, p.NFA))
+		for _, ui := range spec.Units {
+			f.attrib = append(f.attrib, attribEntry{
+				CC:   sp.Units[ui].CC,
+				Unit: ui,
+				From: int64(seg.Start),
+			})
+		}
+		seg.flows = append(seg.flows, f)
+	}
+}
+
+// Flow mode needs no post-pass: truth was decoded before execution.
+func (flowMode) finalize(*Plan, []*segmentResult, []engine.Boundary) {}
+
+// sfaMode is the SFA composition strategy. Seeding groups the segment's
+// enumeration units into frontier-equivalence classes — units whose
+// non-baseline seeds are identical start the segment in the same frontier,
+// so one run covers them all — and runs exactly one flow per class over
+// the unchanged TDM machinery. Each class flow's saved SVC context at the
+// segment's end IS the entry→exit state mapping restricted to that entry
+// class (NFA frontier evolution is additive, so per-class images suffice).
+// finalize then composes left-to-right: segment j's true exit union is the
+// entry set of segment j+1, unit truth is a subset test against it, and
+// the Zobrist fingerprints make the boundary cross-checks against the
+// golden run O(1) hash compares (full compares only on hash hits, with
+// verified collisions counted).
+type sfaMode struct{}
+
+func (sfaMode) usesFIV() bool { return false }
+
+func (sfaMode) seedSegment(p *Plan, seg *segmentResult, bounds []engine.Boundary) {
+	sp := p.SymbolPlanFor(seg.Sym)
+	// Truth is unknown until finalize composes the boundary mappings.
+	seg.unitTrue = make([]bool, len(sp.Units))
+
+	// Frontier-equivalence classes: units keyed by the fingerprint of their
+	// non-baseline seed, verified on hash match (a colliding pair stays in
+	// separate classes and is counted). Units with an empty non-baseline
+	// seed are never true (unitTruth's len(seedCheck) > 0 rule) and their
+	// runs could never contribute a true exit, so they get no flow.
+	type entryClass struct {
+		fp    uint64
+		seed  []nfa.StateID // borrowed from Unit.seedCheck (sorted)
+		units []int
+	}
+	var classes []entryClass
+	byFP := map[uint64][]int{}
+	for ui, u := range sp.Units {
+		if len(u.seedCheck) == 0 {
+			continue
+		}
+		fp := fingerprintOf(u.seedCheck, p.NFA)
+		found := -1
+		for _, ci := range byFP[fp] {
+			if equalContexts(classes[ci].seed, u.seedCheck) {
+				found = ci
+				break
+			}
+			seg.FPCollisions++ // verified: same hash, different seeds
+		}
+		if found >= 0 {
+			classes[found].units = append(classes[found].units, ui)
+			continue
+		}
+		byFP[fp] = append(byFP[fp], len(classes))
+		classes = append(classes, entryClass{fp: fp, seed: u.seedCheck, units: []int{ui}})
+	}
+
+	for ci, c := range classes {
+		f := &flowRun{
+			id:        ci + 1,
+			alive:     true,
+			classUnit: c.units[0],
+		}
+		// Copy the seed: the SVC owns its context and the plan's unit
+		// seeds are shared across executions of the same Plan.
+		f.svcID = seg.svc.AllocOverflow(slices.Clone(c.seed), c.fp)
+		for _, ui := range c.units {
+			f.attrib = append(f.attrib, attribEntry{
+				CC:   sp.Units[ui].CC,
+				Unit: ui,
+				From: int64(seg.Start),
+			})
+		}
+		seg.flows = append(seg.flows, f)
+	}
+	seg.SFAMappings = len(classes)
+}
+
+// finalize composes the per-segment entry→exit mappings left-to-right.
+// Segment j's exit under the true entry set is the union of its ASG/golden
+// exit with the exits of its true entry classes; unit truth of segment j+1
+// is the whole-seed subset test against that union — the same criterion
+// unitTruth applies to the golden boundary, so composition reproduces flow
+// mode's truth (and therefore its reports) exactly. Each boundary is
+// cross-checked against the golden run by fingerprint.
+func (sfaMode) finalize(p *Plan, segs []*segmentResult, bounds []engine.Boundary) {
+	entry := map[nfa.StateID]struct{}{}
+	var entryIDs []nfa.StateID // sorted materialisation for the cross-check
+	for j := 1; j < len(segs); j++ {
+		prev, seg := segs[j-1], segs[j]
+		p.guardSegment(seg, func() {
+			if err := p.Cfg.fire(faultinject.SFACompose, seg.Index, -1); err != nil {
+				seg.err = err
+				return
+			}
+
+			// Compose: union the predecessor's surviving exit mappings.
+			clear(entry)
+			sfaExit(prev, entry)
+			seg.ComposeOps += int64(len(entry))
+
+			// Truth of this segment's units at the composed boundary.
+			sp := p.SymbolPlanFor(seg.Sym)
+			for ui, u := range sp.Units {
+				ok := len(u.seedCheck) > 0
+				for _, q := range u.seedCheck {
+					seg.ComposeOps++
+					if _, in := entry[q]; !in {
+						ok = false
+						break
+					}
+				}
+				seg.unitTrue[ui] = ok
+			}
+
+			// Fingerprint cross-check against the golden boundary: equal
+			// hashes are trusted unless the full compare disagrees (a
+			// verified collision); a hash mismatch means the composed
+			// frontier diverged, which compose()'s report comparison
+			// (Result.Correct) surfaces.
+			entryIDs = entryIDs[:0]
+			for q := range entry {
+				entryIDs = append(entryIDs, q)
+			}
+			slices.Sort(entryIDs)
+			want := bounds[j-1].Enabled
+			if fingerprintOf(entryIDs, p.NFA) == fingerprintOf(want, p.NFA) &&
+				!equalContexts(entryIDs, want) {
+				seg.FPCollisions++
+			}
+		})
+		if seg.err != nil {
+			return
+		}
+	}
+}
+
+// sfaExit adds one finished segment's true exit states to dst: the
+// ASG/golden flow's exit plus each class flow's exit when its class is
+// true. Flows absorbed by convergence contribute their survivor's exit
+// (equal vectors evolve identically); flows whose SVC entry was freed by
+// deactivation contribute nothing — a zero-mask kill exits empty and an
+// absorption kill exits inside the ASG exit, so the union is unchanged.
+func sfaExit(seg *segmentResult, dst map[nfa.StateID]struct{}) {
+	base := seg.flows[0]
+	if seg.svc.Valid(base.svcID) {
+		ctx, _ := seg.svc.Load(base.svcID)
+		for _, q := range ctx {
+			dst[q] = struct{}{}
+		}
+	}
+	for _, f := range seg.flows[1:] {
+		if !seg.unitTrue[f.classUnit] {
+			continue
+		}
+		g := f
+		for g.mergedInto != nil {
+			g = g.mergedInto
+		}
+		if !seg.svc.Valid(g.svcID) {
+			continue
+		}
+		ctx, _ := seg.svc.Load(g.svcID)
+		for _, q := range ctx {
+			dst[q] = struct{}{}
+		}
+	}
+}

@@ -33,8 +33,18 @@ type SegmentStats struct {
 	// dead-frontier skips instead of stepping — a simulator fast-path
 	// figure; the modelled cycle metrics charge every covered symbol.
 	PrefilterSkipped int64
-	Mispredicted     bool      // speculation only
-	RerunCycles      ap.Cycles // speculation only
+	// SFAMappings is the number of frontier-equivalence classes (entry→exit
+	// mappings) this segment ran; 0 in flow mode and for segment 0.
+	SFAMappings int
+	// ComposeOps counts boundary-composition set operations (exit unions
+	// and unit subset probes) charged to this segment's SFA finalize pass.
+	ComposeOps int64
+	// FPCollisions counts verified fingerprint collisions — hash compares
+	// that matched but whose full vector compare disagreed — across
+	// convergence, deactivation, class grouping, and SFA boundary checks.
+	FPCollisions int64
+	Mispredicted bool      // speculation only
+	RerunCycles  ap.Cycles // speculation only
 }
 
 // Result is the outcome of one PAP execution: the composed (exact) report
@@ -79,6 +89,19 @@ type Result struct {
 	// like EngineSwitches a simulator observability figure, never an AP
 	// cost (skipped symbols are still charged their modelled cycles).
 	PrefilterSkipped int64
+
+	// Mode is the execution strategy that produced this result.
+	Mode Mode
+	// SFAMappings is the total number of entry→exit mappings (frontier-
+	// equivalence classes) run across segments; 0 in flow mode.
+	SFAMappings int64
+	// SFAComposeOps is the total boundary-composition work of the SFA
+	// finalize pass; 0 in flow mode.
+	SFAComposeOps int64
+	// FingerprintCollisions counts verified fingerprint collisions across
+	// all hash fast paths (convergence, deactivation, class grouping, SFA
+	// boundary cross-checks) — hash hits whose full compare disagreed.
+	FingerprintCollisions int64
 
 	// CapacityNote is non-empty when the flow plan exceeds the SVC limit
 	// (the run still simulates, as the paper's pre-optimization analyses do).
@@ -130,7 +153,7 @@ func (p *Plan) Execute(input []byte) (*Result, error) {
 // ExecuteContext is Execute under a context; see RunContext for the
 // cancellation contract.
 func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error) {
-	res := &Result{Plan: p, IdealSpeedup: float64(p.Segments)}
+	res := &Result{Plan: p, Mode: p.Cfg.Mode, IdealSpeedup: float64(p.Segments)}
 	golden, bounds, goldenPos, err := engine.RunWithBoundariesEngineContext(ctx, p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables, 0)
 	if err != nil {
 		// Aborted before any segment ran: report the golden execution's
@@ -180,6 +203,14 @@ func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error
 	if err := abortError(segs, ctx.Err()); err != nil {
 		return nil, err
 	}
+	// Mode post-pass: SFA composes the per-segment entry→exit mappings
+	// left-to-right here, establishing every segment's unit truth before
+	// report composition (a no-op in flow mode, where truth was decoded
+	// from the golden boundaries before execution).
+	p.execMode().finalize(p, segs, bounds)
+	if err := abortError(segs, ctx.Err()); err != nil {
+		return nil, err
+	}
 	res.RawTotalCycles = segs[len(segs)-1].KnownAt
 	res.TotalCycles = res.RawTotalCycles
 	if res.TotalCycles > res.BaselineCycles {
@@ -198,9 +229,12 @@ func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error
 
 // buildSegments constructs the runtime flows of every segment: segment 0
 // gets the golden flow (true start states known); segments j>0 get the ASG
-// flow plus one flow per FlowSpec of their boundary symbol's plan, and the
-// truth of their units evaluated against the golden boundary state.
+// flow plus the execution mode's enumeration flows — one per FlowSpec of
+// the boundary symbol's plan in flow mode (with unit truth decoded from
+// the golden boundary), one per frontier-equivalence class in SFA mode
+// (truth left to boundary composition).
 func (p *Plan) buildSegments(input []byte, bounds []engine.Boundary) []*segmentResult {
+	mode := p.execMode()
 	segs := make([]*segmentResult, p.Segments)
 	for j := 0; j < p.Segments; j++ {
 		start, end := 0, len(input)
@@ -245,24 +279,7 @@ func (p *Plan) buildSegments(input []byte, bounds []engine.Boundary) []*segmentR
 			segs[j] = seg
 			continue
 		}
-		sp := p.SymbolPlanFor(seg.Sym)
-		seg.unitTrue = unitTruth(sp, bounds[j-1])
-		for fi, spec := range sp.Flows {
-			f := &flowRun{
-				id:    fi + 1,
-				alive: true,
-			}
-			seed := dropAllInput(sortedIDs(spec.Seed), p.NFA)
-			f.svcID = seg.svc.AllocOverflow(seed, fingerprintOf(seed, p.NFA))
-			for _, ui := range spec.Units {
-				f.attrib = append(f.attrib, attribEntry{
-					CC:   sp.Units[ui].CC,
-					Unit: ui,
-					From: int64(start),
-				})
-			}
-			seg.flows = append(seg.flows, f)
-		}
+		mode.seedSegment(p, seg, bounds)
 		seg.InitFlows = len(seg.flows)
 		segs[j] = seg
 	}
@@ -404,6 +421,9 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 			Transitions:      seg.Transitions,
 			EngineSwitches:   seg.EngSwitches,
 			PrefilterSkipped: seg.PrefilterSkip,
+			SFAMappings:      seg.SFAMappings,
+			ComposeOps:       seg.ComposeOps,
+			FPCollisions:     seg.FPCollisions,
 			Mispredicted:     seg.Mispredicted,
 			RerunCycles:      seg.RerunCycles,
 		})
@@ -416,6 +436,9 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 		trans += seg.Transitions
 		res.EngineSwitches += seg.EngSwitches
 		res.PrefilterSkipped += seg.PrefilterSkip
+		res.SFAMappings += int64(seg.SFAMappings)
+		res.SFAComposeOps += seg.ComposeOps
+		res.FingerprintCollisions += seg.FPCollisions
 		if seg.Index > 0 {
 			flowRounds += seg.FlowRounds
 			rounds += int64(seg.Rounds)

@@ -82,6 +82,10 @@ type apStatsJSON struct {
 	FalseReportRatio  float64 `json:"false_report_ratio"`
 	EngineSwitches    int64   `json:"engine_switches"`
 	PrefilterSkipped  int64   `json:"prefilter_skipped"`
+	ExecMode          string  `json:"exec_mode"`
+	SFAMappings       int64   `json:"sfa_mappings,omitempty"`
+	SFAComposeOps     int64   `json:"sfa_compose_ops,omitempty"`
+	FPCollisions      int64   `json:"fingerprint_collisions,omitempty"`
 	Verified          bool    `json:"verified"`
 }
 
@@ -432,6 +436,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if mode == "" || mode == "seq" {
 		mode = "sequential"
 	}
+	// mode=sfa is parallel matching under the SFA function-composition
+	// strategy; mode=parallel serves the operator's configured default.
+	execMode := s.cfg.DefaultExecMode
+	if mode == "sfa" {
+		mode = "parallel"
+		execMode = pap.ExecSFA
+	}
 	eng, err := resolveEngine(q, e)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -474,6 +485,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cfg.Engine = eng
+		cfg.Mode = execMode
 		var rep *pap.Report
 		if !s.dispatch(w, r, func() {
 			rep, matchErr = e.Automaton.MatchParallelContext(execCtx, payload, cfg)
@@ -503,15 +515,21 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			FalseReportRatio:  st.FalseReportRatio,
 			EngineSwitches:    st.EngineSwitches,
 			PrefilterSkipped:  st.PrefilterSkippedBytes,
+			ExecMode:          st.Mode,
+			SFAMappings:       st.SFAMappings,
+			SFAComposeOps:     st.SFAComposeOps,
+			FPCollisions:      st.FingerprintCollisions,
 			Verified:          st.Verified,
 		}
 		s.speedupHist.Observe(st.Speedup)
 		s.countEngineSteps(eng, len(payload))
 		s.engineSwitches.Add(st.EngineSwitches)
 		s.prefilterSkipped.Add(st.PrefilterSkippedBytes)
+		s.sfaMappings.Add(st.SFAMappings)
+		s.sfaCompositions.Add(st.SFAComposeOps)
 	default:
 		writeErr(w, http.StatusBadRequest,
-			`mode must be "sequential" (default) or "parallel", got %q`, mode)
+			`mode must be "sequential" (default), "parallel" or "sfa", got %q`, mode)
 		return
 	}
 

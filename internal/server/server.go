@@ -59,6 +59,11 @@ type Config struct {
 	// serial_segments=). Results and modelled stats are identical either
 	// way; serial mode only changes simulator wall-clock behaviour.
 	SerialSegments bool
+	// DefaultExecMode is the parallel execution strategy served when a
+	// request does not pick one (mode=parallel uses it; mode=sfa forces
+	// pap.ExecSFA per call). Matches are identical across strategies;
+	// modelled stats differ.
+	DefaultExecMode pap.ExecMode
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +115,8 @@ type Server struct {
 	lazyCacheHits    *Counter
 	lazyCacheMisses  *Counter
 	lazyCacheEvicts  *Counter
+	sfaMappings      *Counter
+	sfaCompositions  *Counter
 }
 
 // New assembles a server from the config.
@@ -151,6 +158,10 @@ func New(cfg Config) *Server {
 		"Lazy-DFA state-cache edge misses (determinizations).", "")
 	s.lazyCacheEvicts = m.Counter("papd_lazydfa_cache_evictions_total",
 		"Lazy-DFA cached states discarded by cache flushes.", "")
+	s.sfaMappings = m.Counter("papd_sfa_mappings_total",
+		"Entry-to-exit mapping flows run by SFA-mode parallel matches.", "")
+	s.sfaCompositions = m.Counter("papd_sfa_compositions_total",
+		"Boundary composition operations performed by SFA-mode parallel matches.", "")
 	s.cancellations = make(map[string]*Counter)
 	for _, reason := range []string{"deadline", "client_gone"} {
 		s.cancellations[reason] = m.Counter("papd_match_cancellations_total",

@@ -129,6 +129,61 @@ func (k EngineKind) toKind() engine.Kind {
 	}
 }
 
+// ExecMode selects the parallel execution strategy of MatchParallel: how
+// the unknown entry state of each input segment is resolved. Both modes
+// produce exactly the sequential match set (verified on every run); they
+// differ in the work the modelled machine does.
+type ExecMode int
+
+const (
+	// ExecFlows (the default) is the paper's start-state enumeration: one
+	// AP flow per enumeration unit, false flows killed by deactivation,
+	// convergence, and Flow Invalidation Vectors from the predecessor
+	// segment.
+	ExecFlows ExecMode = iota
+	// ExecSFA runs one flow per frontier-equivalence class and composes
+	// the per-segment entry→exit state mappings at segment boundaries
+	// (function composition in the style of simultaneous finite automata),
+	// with Rabin-style fingerprints making the equivalence checks hash
+	// compares. No Flow Invalidation Vectors are sent.
+	ExecSFA
+)
+
+// ExecModeNames returns the parseable names of every execution mode, in
+// ExecMode order ("flows", "sfa").
+func ExecModeNames() []string { return core.ModeNames() }
+
+// String returns the parseable mode name (see ExecModeNames).
+func (m ExecMode) String() string { return m.toMode().String() }
+
+// ParseExecMode parses an execution mode name: "flows" (or the empty
+// string) and "sfa". Unknown names return an error listing the valid
+// modes.
+func ParseExecMode(s string) (ExecMode, error) {
+	if s == "" {
+		return ExecFlows, nil
+	}
+	m, err := core.ParseMode(s)
+	if err != nil {
+		return ExecFlows, fmt.Errorf("pap: %v", err)
+	}
+	switch m {
+	case core.ModeSFA:
+		return ExecSFA, nil
+	default:
+		return ExecFlows, nil
+	}
+}
+
+func (m ExecMode) toMode() core.Mode {
+	switch m {
+	case ExecSFA:
+		return core.ModeSFA
+	default:
+		return core.ModeFlows
+	}
+}
+
 // Rule pairs a pattern with the code its matches report.
 type Rule struct {
 	Pattern string
@@ -430,6 +485,11 @@ type Config struct {
 	// (default EngineAuto). It changes simulator wall-clock time only,
 	// never matches or modelled AP cycles.
 	Engine EngineKind
+	// Mode selects the parallel execution strategy (default ExecFlows,
+	// the paper's enumeration; ExecSFA composes per-segment state
+	// mappings instead). Matches are identical either way; modelled
+	// cycles and flow statistics differ. Incompatible with Speculate.
+	Mode ExecMode
 }
 
 // DefaultConfig returns the paper's operating point for a board size.
@@ -467,6 +527,7 @@ func (c Config) toCore() core.Config {
 	cfg.SegmentParallel = !c.SerialSegments
 	cfg.Speculate = c.Speculate
 	cfg.Engine = c.Engine.toKind()
+	cfg.Mode = c.Mode.toMode()
 	return cfg
 }
 
@@ -496,6 +557,21 @@ type RunStats struct {
 	// boundary run. Pure simulator observability: skipped symbols are
 	// still charged their modelled AP cycles.
 	PrefilterSkippedBytes int64
+	// Mode is the execution strategy that produced this run ("flows" or
+	// "sfa").
+	Mode string
+	// SFAMappings is the number of entry→exit mapping flows SFA mode ran
+	// (one per frontier-equivalence class per segment; 0 in flow mode).
+	SFAMappings int64
+	// SFAComposeOps counts the elementary operations of the boundary
+	// composition pass: exit states merged plus subset probes performed
+	// (0 in flow mode).
+	SFAComposeOps int64
+	// FingerprintCollisions counts hash-equal-but-different state-vector
+	// pairs caught by the full compare backing every fingerprint fast
+	// path (convergence, deactivation, SFA class grouping and boundary
+	// cross-checks). Collisions are handled exactly, never merged.
+	FingerprintCollisions int64
 	// Verified confirms the composed matches equalled sequential matching
 	// (always true; a false value would be a library bug).
 	Verified bool
@@ -586,6 +662,10 @@ func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg 
 			FalseReportRatio:      res.ReportIncrease,
 			EngineSwitches:        res.EngineSwitches,
 			PrefilterSkippedBytes: res.PrefilterSkipped,
+			Mode:                  res.Mode.String(),
+			SFAMappings:           res.SFAMappings,
+			SFAComposeOps:         res.SFAComposeOps,
+			FingerprintCollisions: res.FingerprintCollisions,
 			Verified:              res.Correct,
 		},
 	}, nil
