@@ -7,7 +7,8 @@ GO ?= go
 COVER_MIN ?= 85.0
 
 .PHONY: all build test vet race fuzz bench bench-segments bench-prefilter \
-	bench-sfa experiments report serve clean conformance cover chaos vulncheck
+	bench-sfa bench-hotloop experiments report serve clean conformance cover \
+	chaos vulncheck
 
 all: build vet test
 
@@ -28,6 +29,7 @@ race:
 # equivalence).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/
+	$(GO) test -run xxx -fuzz FuzzBaselineSkip -fuzztime 30s ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzCompileAgainstStdlib -fuzztime 30s ./internal/regex/
 	$(GO) test -run xxx -fuzz FuzzParallelEquivalence -fuzztime 30s ./internal/core/
 	$(GO) test -run xxx -fuzz FuzzSFAEquivalence -fuzztime 30s ./internal/core/
@@ -87,6 +89,13 @@ bench-sfa:
 bench-prefilter:
 	$(GO) test -run xxx -bench 'PrefilterRegime|LazyDensity' ./internal/engine/
 	PAP_BENCH_GUARD=1 $(GO) test -run TestQuietRegimeGuard -v ./internal/engine/
+
+# Vectorized hot loop vs the scalar step loop on the sparse intrusion and
+# regex-suite workloads (the numbers behind BENCH_hotloop.json), then the
+# 5x baseline-skip throughput gate.
+bench-hotloop:
+	$(GO) test -run xxx -bench BenchmarkHotLoop -benchmem -count 3 ./internal/engine/
+	PAP_BENCH_GUARD=1 $(GO) test -run TestHotLoopGuard -v ./internal/engine/
 
 # Regenerate every table and figure at the default reduced scale.
 experiments:

@@ -125,6 +125,57 @@ func (s *Set) AndNot(o *Set) {
 	}
 }
 
+// OrAndOf sets s = (a ∪ b) ∩ m in a single fused pass — the state-match
+// phase of the AP symbol cycle (enabled ∪ all-input, masked by the
+// symbol's match vector) without the intermediate copy.
+func (s *Set) OrAndOf(a, b, m *Set) {
+	s.sameCap(a)
+	s.sameCap(b)
+	s.sameCap(m)
+	sw, aw, bw, mw := s.words, a.words, b.words, m.words
+	if len(sw) > 0 { // hoist the bounds checks for the fused loop
+		_ = aw[len(sw)-1]
+		_ = bw[len(sw)-1]
+		_ = mw[len(sw)-1]
+	}
+	for i := range sw {
+		sw[i] = (aw[i] | bw[i]) & mw[i]
+	}
+}
+
+// AndOf sets s = a ∩ m in a single pass (the state-match phase with
+// baseline injection off).
+func (s *Set) AndOf(a, m *Set) {
+	s.sameCap(a)
+	s.sameCap(m)
+	sw, aw, mw := s.words, a.words, m.words
+	if len(sw) > 0 {
+		_ = aw[len(sw)-1]
+		_ = mw[len(sw)-1]
+	}
+	for i := range sw {
+		sw[i] = aw[i] & mw[i]
+	}
+}
+
+// AndNotCount sets s = s \ o and returns the number of bits remaining —
+// the frontier-update half-step (drop all-input states, measure the
+// frontier) fused into one pass.
+func (s *Set) AndNotCount(o *Set) int {
+	s.sameCap(o)
+	c := 0
+	sw, ow := s.words, o.words
+	if len(sw) > 0 {
+		_ = ow[len(sw)-1]
+	}
+	for i := range sw {
+		w := sw[i] &^ ow[i]
+		sw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // Equal reports whether s and o contain exactly the same bits.
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {

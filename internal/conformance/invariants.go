@@ -58,6 +58,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 	if inv, d := checkPrefilteredMeta(c, oracle, sub); inv != "" {
 		return inv, d
 	}
+	if inv, d := checkBaselineSkip(c, oracle, sub); inv != "" {
+		return inv, d
+	}
 	if inv, d := checkSegmented(c, oracle); inv != "" {
 		return inv, d
 	}
@@ -192,6 +195,80 @@ func checkPrefilteredMeta(c *Case, oracle []engine.Report, rng *rand.Rand) (stri
 		return "prefilter-stream-chunks/meta", d
 	}
 	return "", ""
+}
+
+// checkBaselineSkip asserts the baseline-skip fast path is invisible:
+// oracle ≡ skip-enabled run ≡ skip-disabled run (the new ablation), on
+// every backend, with every observable — reports, transition count,
+// frontier statistics — bit-identical between the two runs, and with the
+// full PAP parallelization equally unchanged by the ablation (every
+// modelled metric except the skip counter itself).
+func checkBaselineSkip(c *Case, oracle []engine.Report, rng *rand.Rand) (string, string) {
+	tab := engine.NewTables(c.NFA)
+	for _, kind := range engineKinds {
+		name := "baseline-skip/" + kind.String()
+		on := engine.RunEngine(c.NFA, c.Input, kind, tab)
+		off := engine.RunEngineOpts(c.NFA, c.Input, kind, tab,
+			engine.RunOpts{DisableBaselineSkip: true})
+		if d := diffReports(oracle, on.Reports); d != "" {
+			return name, "skip-enabled vs oracle: " + d
+		}
+		if d := diffReports(oracle, off.Reports); d != "" {
+			return name, "skip-disabled vs oracle: " + d
+		}
+		if on.Transitions != off.Transitions {
+			return name, fmt.Sprintf("transitions: enabled %d, disabled %d",
+				on.Transitions, off.Transitions)
+		}
+		if on.MaxFrontier != off.MaxFrontier || on.SumFrontier != off.SumFrontier {
+			return name, fmt.Sprintf("frontier stats: enabled max %d sum %d, disabled max %d sum %d",
+				on.MaxFrontier, on.SumFrontier, off.MaxFrontier, off.SumFrontier)
+		}
+		if off.BaselineSkippedBytes != 0 {
+			return name, fmt.Sprintf("disabled run still skipped %d bytes", off.BaselineSkippedBytes)
+		}
+	}
+
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	base := parallelConfig(rng, false)
+	base.DisableBaselineSkip = false
+	abl := base
+	abl.DisableBaselineSkip = true
+	ron, err := core.Run(c.NFA, c.Input, base)
+	if err != nil {
+		return "baseline-skip/parallel", fmt.Sprintf("core.Run: %v (cfg %+v)", err, base)
+	}
+	roff, err := core.Run(c.NFA, c.Input, abl)
+	if err != nil {
+		return "baseline-skip/parallel", fmt.Sprintf("ablated core.Run: %v (cfg %+v)", err, abl)
+	}
+	if d := diffReports(oracle, roff.Reports); d != "" {
+		return "baseline-skip/parallel", "ablated vs oracle: " + d
+	}
+	if roff.BaselineSkipped != 0 {
+		return "baseline-skip/parallel",
+			fmt.Sprintf("ablated run still skipped %d bytes", roff.BaselineSkipped)
+	}
+	if d := diffResultMetrics(zeroBaselineSkip(ron), zeroBaselineSkip(roff)); d != "" {
+		return "baseline-skip/parallel", "ablation changed a metric: " + d + fmt.Sprintf(" (cfg %+v)", base)
+	}
+	return "", ""
+}
+
+// zeroBaselineSkip returns a copy of res with the baseline-skip counters
+// cleared, so diffResultMetrics can compare a skip-enabled and a
+// skip-ablated run on everything else.
+func zeroBaselineSkip(res *core.Result) *core.Result {
+	out := *res
+	out.BaselineSkipped = 0
+	out.Golden.BaselineSkippedBytes = 0
+	out.Segments = append([]core.SegmentStats(nil), res.Segments...)
+	for i := range out.Segments {
+		out.Segments[i].BaselineSkipped = 0
+	}
+	return &out
 }
 
 // cutsFor returns the equal-division cut positions for k segments, clipped
@@ -513,6 +590,7 @@ func diffResultMetrics(a, b *core.Result) string {
 		{"TransitionRatio", a.TransitionRatio, b.TransitionRatio},
 		{"MispredictedSegments", a.MispredictedSegments, b.MispredictedSegments},
 		{"PrefilterSkipped", a.PrefilterSkipped, b.PrefilterSkipped},
+		{"BaselineSkipped", a.BaselineSkipped, b.BaselineSkipped},
 		{"CapacityNote", a.CapacityNote, b.CapacityNote},
 		{"Mode", a.Mode, b.Mode},
 		{"SFAMappings", a.SFAMappings, b.SFAMappings},
@@ -553,6 +631,7 @@ func parallelConfig(rng *rand.Rand, toggled bool) core.Config {
 		cfg.DisableDeactivation = rng.Intn(2) == 0
 		cfg.DisableFIV = rng.Intn(2) == 0
 		cfg.DisablePrefilter = rng.Intn(2) == 0
+		cfg.DisableBaselineSkip = rng.Intn(2) == 0
 		cfg.AbsorbDeactivation = rng.Intn(2) == 0
 		if rng.Intn(3) == 0 {
 			cfg.Speculate = true

@@ -127,6 +127,12 @@ type Config struct {
 	DisableDeactivation bool // skip §3.3.4 checks
 	DisableFIV          bool // never send Flow Invalidation Vectors
 	DisablePrefilter    bool // never skip dead-frontier input regions
+	// DisableBaselineSkip turns off the exact baseline-skip fast path
+	// (start-class scan over ASG-only regions). Unlike DisablePrefilter it
+	// never changes any observable — reports, frontiers, and modelled
+	// cycles are bit-identical either way — so it exists purely as a
+	// conformance ablation and for isolating the fast path in benchmarks.
+	DisableBaselineSkip bool
 
 	// Fault, when non-nil, is fired at every instrumented pipeline point
 	// (plan build, each TDM round boundary, FIV transfers, truth

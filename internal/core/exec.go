@@ -35,6 +35,11 @@ type flowRun struct {
 	symbols int64 // symbols actually processed (early kills process fewer)
 	trans   int64
 	skipped int64 // symbols covered by prefilter skips (subset of symbols)
+	// baseSkipped counts symbols covered by the exact baseline-skip scan
+	// (ASG flow, dead frontier, start-class scanner). Like skipped it is a
+	// subset of symbols: every covered symbol still charges its modelled
+	// round.
+	baseSkipped int64
 
 	// classUnit is the index of one unit of this flow's frontier-
 	// equivalence class (SFA mode only; every unit of the class shares one
@@ -77,6 +82,8 @@ type segmentResult struct {
 	EngSwitches   int64 // adaptive-engine representation switches (Auto only)
 	PrefilterSkip int64 // input bytes covered by prefilter skips (simulator
 	// fast path; the modelled cycles still charge every covered symbol)
+	BaselineSkip int64 // input bytes covered by the exact baseline-skip
+	// scan (ASG-only frontier, start-class scanner); same charging rule
 
 	SFAMappings  int   // SFA mode: frontier-equivalence classes run
 	ComposeOps   int64 // SFA mode: boundary-composition set operations
@@ -383,6 +390,7 @@ func (p *Plan) runSegmentRounds(ctx context.Context, seg *segmentResult, input [
 	}
 	for _, f := range seg.flows {
 		seg.PrefilterSkip += f.skipped
+		seg.BaselineSkip += f.baseSkipped
 	}
 	dup := 0.0
 	if seg.Rounds > 0 {
@@ -408,14 +416,23 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	// Vector Cache; this load/run/save is exactly an AP flow switch.
 	ctx, _ := seg.svc.Load(f.svcID)
 	e.SetBaseline(f.asg)
+	// The scheduler-parity contract requires every modelled count to be a
+	// function of (plan, segment, input) alone, but under Auto engines the
+	// live representation depends on pool scheduling history — so skipping
+	// happens here, above the engine, representation-independently, and the
+	// engine's own baseline-skip fast path stays off. (It could never fire
+	// anyway: this loop checks Dead() before every step.)
+	engine.SetBaselineSkip(e, false)
 	e.Reset(ctx)
 	t0 := e.Transitions()
 	emit := func(r engine.Report) { f.reports = append(f.reports, r) }
 	var trace []snapshot
 	isASG := f.asg && f.id == 0
 	probe := 0
-	pf := p.prefilter()
-	skipOK := !firstRound && !p.Cfg.DisablePrefilter
+	scan := p.baselineSkip()
+	deadSkipOK := !firstRound && !p.Cfg.DisablePrefilter
+	baseSkipOK := !firstRound && !p.Cfg.DisableBaselineSkip
+	bs, _ := e.(engine.BatchStepper)
 	for i := 0; i < k; {
 		// Dead-frontier fast paths, both bit-identical to stepping: an
 		// enumeration flow (baseline off) can never revive, so the round's
@@ -424,20 +441,30 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 		// covered symbol is still charged to f.symbols, so modelled
 		// ap.Cycles are unchanged. Round 0 is excluded so the deactivation
 		// probe schedule (and its Deactivations counts) stays identical.
-		if skipOK && e.Dead() {
+		if e.Dead() {
 			if !f.asg {
-				f.symbols += int64(k - i)
-				f.skipped += int64(k - i)
-				break
-			}
-			if pf != nil {
-				if j := pf.NextIn(input, pos+i, pos+k) - pos; j > i {
+				if deadSkipOK {
+					f.symbols += int64(k - i)
+					f.skipped += int64(k - i)
+					break
+				}
+			} else if baseSkipOK && scan != nil {
+				if j := scan.NextIn(input, pos+i, pos+k) - pos; j > i {
 					f.symbols += int64(j - i)
-					f.skipped += int64(j - i)
+					f.baseSkipped += int64(j - i)
 					i = j
 					continue
 				}
 			}
+		}
+		// Rounds past the first have no probe schedule, so the whole
+		// remaining quantum can go through the engine's vectorized batch
+		// kernel in one call (identical observables; see BatchStepper).
+		if bs != nil && !firstRound {
+			c, _, _ := bs.StepBatch(input[pos+i:pos+k], int64(pos+i), emit)
+			f.symbols += int64(c)
+			i += c
+			continue
 		}
 		e.Step(input[pos+i], int64(pos+i), emit)
 		f.symbols++
@@ -485,19 +512,16 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	return trace
 }
 
-// prefilter returns the plan's shared class prefilter for dead-frontier
-// skipping, or nil when disabled or useless. Skipping is fully exact, so
-// it applies under every engine kind; DisablePrefilter is the ablation
-// switch that forces symbol-by-symbol stepping.
-func (p *Plan) prefilter() *prefilter.Prefilter {
-	if p.Cfg.DisablePrefilter {
+// baselineSkip returns the plan's shared start-class scanner for the exact
+// baseline-skip fast path, or nil when ablated or useless (a saturated
+// start class can never skip). Skipping is fully exact, so it applies
+// under every engine kind; DisableBaselineSkip is the ablation switch that
+// forces symbol-by-symbol stepping of ASG-only regions.
+func (p *Plan) baselineSkip() *prefilter.ClassScanner {
+	if p.Cfg.DisableBaselineSkip {
 		return nil
 	}
-	pf := p.tables.Prefilter()
-	if !pf.Useful() {
-		return nil
-	}
-	return pf
+	return p.tables.BaselineSkip()
 }
 
 // frontierOf materialises an engine's frontier as a fresh sorted slice.

@@ -33,6 +33,10 @@ type SegmentStats struct {
 	// dead-frontier skips instead of stepping — a simulator fast-path
 	// figure; the modelled cycle metrics charge every covered symbol.
 	PrefilterSkipped int64
+	// BaselineSkipped counts input bytes this segment's ASG flow covered by
+	// the exact baseline-skip scan (start-class scanner over a dead
+	// enumeration frontier); the same charging rule applies.
+	BaselineSkipped int64
 	// SFAMappings is the number of frontier-equivalence classes (entry→exit
 	// mappings) this segment ran; 0 in flow mode and for segment 0.
 	SFAMappings int
@@ -89,6 +93,12 @@ type Result struct {
 	// like EngineSwitches a simulator observability figure, never an AP
 	// cost (skipped symbols are still charged their modelled cycles).
 	PrefilterSkipped int64
+	// BaselineSkipped counts input bytes covered by the exact baseline-skip
+	// fast path (start-class scan over ASG-only regions) across all segment
+	// flows plus the golden run. Unlike PrefilterSkipped this path is exact
+	// for every observable, so it is deterministic across schedulers and
+	// engine kinds; it too charges every covered symbol its modelled round.
+	BaselineSkipped int64
 
 	// Mode is the execution strategy that produced this result.
 	Mode Mode
@@ -154,7 +164,8 @@ func (p *Plan) Execute(input []byte) (*Result, error) {
 // cancellation contract.
 func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error) {
 	res := &Result{Plan: p, Mode: p.Cfg.Mode, IdealSpeedup: float64(p.Segments)}
-	golden, bounds, goldenPos, err := engine.RunWithBoundariesEngineContext(ctx, p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables, 0)
+	golden, bounds, goldenPos, err := engine.RunWithBoundariesEngineContext(ctx, p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables, 0,
+		engine.RunOpts{DisableBaselineSkip: p.Cfg.DisableBaselineSkip})
 	if err != nil {
 		// Aborted before any segment ran: report the golden execution's
 		// own position as whole-input progress.
@@ -421,6 +432,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 			Transitions:      seg.Transitions,
 			EngineSwitches:   seg.EngSwitches,
 			PrefilterSkipped: seg.PrefilterSkip,
+			BaselineSkipped:  seg.BaselineSkip,
 			SFAMappings:      seg.SFAMappings,
 			ComposeOps:       seg.ComposeOps,
 			FPCollisions:     seg.FPCollisions,
@@ -436,6 +448,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 		trans += seg.Transitions
 		res.EngineSwitches += seg.EngSwitches
 		res.PrefilterSkipped += seg.PrefilterSkip
+		res.BaselineSkipped += seg.BaselineSkip
 		res.SFAMappings += int64(seg.SFAMappings)
 		res.SFAComposeOps += seg.ComposeOps
 		res.FingerprintCollisions += seg.FPCollisions
@@ -449,6 +462,7 @@ func (p *Plan) aggregate(res *Result, segs []*segmentResult) {
 		}
 	}
 	res.PrefilterSkipped += res.Golden.PrefilterSkipped
+	res.BaselineSkipped += res.Golden.BaselineSkippedBytes
 	res.AvgActiveFlows = safeDiv(float64(flowRounds), float64(rounds))
 	res.SwitchOverheadPct = 100 * safeDiv(float64(switchCyc), float64(cyc))
 	if hostSamples > 0 {

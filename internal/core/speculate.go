@@ -54,9 +54,11 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		sw := adaptiveSwitches(e)
 		t0 := e.Transitions()
 		e.SetBaseline(false)
+		engine.SetBaselineSkip(e, false) // skipping is core's job (see runFlowRound)
 		e.Reset(boundary.Enabled)
 		emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
-		for i := seg.Start; i < seg.End; i++ {
+		bs, _ := e.(engine.BatchStepper)
+		for i := seg.Start; i < seg.End; {
 			if !p.Cfg.DisablePrefilter && e.Dead() {
 				// Baseline is off: a dead enumeration frontier can never
 				// revive, so the remainder is inert (and still charged).
@@ -64,8 +66,15 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 				rerun.skipped += int64(seg.End - i)
 				break
 			}
+			if bs != nil {
+				c, _, _ := bs.StepBatch(input[i:seg.End], int64(i), emit)
+				rerun.symbols += int64(c)
+				i += c
+				continue
+			}
 			e.Step(input[i], int64(i), emit)
 			rerun.symbols++
+			i++
 		}
 		rerun.trans = e.Transitions() - t0
 		seg.EngSwitches += adaptiveSwitches(e) - sw

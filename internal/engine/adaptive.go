@@ -3,6 +3,7 @@ package engine
 import (
 	"pap/internal/bitset"
 	"pap/internal/nfa"
+	"pap/internal/prefilter"
 )
 
 // Adaptive switching policy. Density is frontier size relative to the
@@ -42,6 +43,13 @@ type Adaptive struct {
 	switches int64
 	since    int // steps since the last switch (rate limit)
 	seedBuf  []nfa.StateID
+
+	// Baseline-skip fast path (see StepBatch): the adaptive engine skips
+	// at its own level so a dead frontier never pays a representation
+	// switch just to reach the bit engine's scanner.
+	skip    *prefilter.ClassScanner
+	skipOn  bool
+	skipped int64
 }
 
 // NewAdaptive returns an adaptive engine at the start configuration,
@@ -58,6 +66,8 @@ func NewAdaptive(n *nfa.NFA, tab *Tables) *Adaptive {
 		sparse:   NewSparse(n),
 		baseline: true,
 		since:    adaptiveHoldSteps,
+		skip:     tab.BaselineSkip(),
+		skipOn:   true,
 	}
 	a.cur = a.sparse
 	return a
@@ -99,6 +109,90 @@ func (a *Adaptive) Step(sym byte, off int64, emit EmitFunc) {
 	}
 }
 
+// StepBatch consumes between 1 and len(input) symbols (see BatchStepper).
+// A dead frontier takes the baseline-skip fast path regardless of the
+// current representation; a dense frontier delegates the whole batch to
+// the bit engine's vectorized kernel; a sparse frontier steps one symbol
+// (the sparse engine is per-state work already — batching buys nothing).
+func (a *Adaptive) StepBatch(input []byte, off int64, emit EmitFunc) (consumed int, sumFrontier int64, maxFrontier int) {
+	if a.cur.Dead() {
+		if n := a.skipAhead(input); n > 0 {
+			return n, 0, 0
+		}
+	}
+	if a.since >= adaptiveHoldSteps {
+		if !a.dense {
+			if len(a.sparse.frontier)*adaptiveDenseDiv > a.states {
+				a.switchTo(true)
+			}
+		} else if a.bit.enabled.Count()*adaptiveSparseDiv < a.states {
+			a.switchTo(false)
+		}
+	}
+	if a.dense {
+		consumed, sumFrontier, maxFrontier = a.bit.StepBatch(input, off, emit)
+		if a.since < adaptiveHoldSteps {
+			if a.since += consumed; a.since > adaptiveHoldSteps {
+				a.since = adaptiveHoldSteps
+			}
+		}
+		return consumed, sumFrontier, maxFrontier
+	}
+	if a.since < adaptiveHoldSteps {
+		a.since++
+	}
+	a.sparse.Step(input[0], off, emit)
+	l := len(a.sparse.frontier)
+	return 1, int64(l), l
+}
+
+// skipAhead is the adaptive engine's baseline-skip fast path; see
+// Bit.skipAhead for the exactness argument. It operates above the
+// representation choice, so skip behaviour (and the skipped count) does
+// not depend on which engine currently holds the frontier.
+func (a *Adaptive) skipAhead(input []byte) int {
+	if !a.skipOn {
+		return 0
+	}
+	var j int
+	if a.baseline {
+		if a.skip == nil {
+			return 0
+		}
+		j = a.skip.NextIn(input, 0, len(input))
+	} else {
+		j = len(input)
+	}
+	if j > 0 {
+		if a.dense {
+			a.bit.clearFired()
+		} else {
+			a.sparse.clearFired()
+		}
+		a.skipped += int64(j)
+	}
+	return j
+}
+
+// SetBaselineSkip switches the baseline-skip fast path (on by default).
+func (a *Adaptive) SetBaselineSkip(on bool) {
+	a.skipOn = on
+	if a.bit != nil {
+		a.bit.SetBaselineSkip(on)
+	}
+}
+
+// BaselineSkipped returns the cumulative symbols consumed by the
+// baseline-skip fast path (including any the bit engine skipped while it
+// held the frontier).
+func (a *Adaptive) BaselineSkipped() int64 {
+	s := a.skipped
+	if a.bit != nil {
+		s += a.bit.BaselineSkipped()
+	}
+	return s
+}
+
 // switchTo migrates the frontier into the other representation — the
 // cross-engine analogue of an SVC context switch. The transition counters
 // of both engines persist, so Transitions stays cumulative.
@@ -107,6 +201,7 @@ func (a *Adaptive) switchTo(dense bool) {
 	if dense {
 		if a.bit == nil {
 			a.bit = NewBit(a.n, a.tab)
+			a.bit.SetBaselineSkip(a.skipOn)
 		}
 		to = a.bit
 	} else {

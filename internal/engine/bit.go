@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +25,21 @@ type Tables struct {
 	// meta engine and run loop over this automaton (see Prefilter).
 	pfOnce sync.Once
 	pf     *prefilter.Prefilter
+
+	// edgeOnce flattens the successor lists into CSR form and caches the
+	// reporting-state mask, so the bit engine's batched kernel walks plain
+	// arrays instead of calling back into the NFA per fired state.
+	edgeOnce sync.Once
+	succOff  []int32        // CSR offsets, len n.Len()+1
+	succ     []nfa.StateID  // flattened successor lists
+	repWord  []uint64       // reporting-state mask, bit-vector word layout
+	repCode  []int32        // per-state report code
+
+	// skipOnce compiles the baseline-skip scanner: the byte class that can
+	// move a frontier off the ASG-only baseline (exactly the prefilter
+	// start class), or nil when scanning cannot pay off.
+	skipOnce sync.Once
+	skip     *prefilter.ClassScanner
 }
 
 // Prefilter returns the automaton's compiled prefilter, built on first
@@ -64,6 +80,43 @@ func (t *Tables) BuildAll() *Tables {
 	return t
 }
 
+// edges builds (once) and returns the CSR successor arrays and the
+// reporting-state mask shared by every bit engine over these tables.
+func (t *Tables) edges() (succOff []int32, succ []nfa.StateID, repWord []uint64, repCode []int32) {
+	t.edgeOnce.Do(func() {
+		n := t.n
+		t.succOff = make([]int32, n.Len()+1)
+		t.succ = make([]nfa.StateID, 0, n.Edges())
+		t.repWord = make([]uint64, (n.Len()+63)/64)
+		t.repCode = make([]int32, n.Len())
+		for q := 0; q < n.Len(); q++ {
+			t.succOff[q] = int32(len(t.succ))
+			t.succ = append(t.succ, n.Succ(nfa.StateID(q))...)
+			st := n.State(nfa.StateID(q))
+			if st.Flags&nfa.Report != 0 {
+				t.repWord[q>>6] |= 1 << (uint(q) & 63)
+			}
+			t.repCode[q] = st.ReportCode
+		}
+		t.succOff[n.Len()] = int32(len(t.succ))
+	})
+	return t.succOff, t.succ, t.repWord, t.repCode
+}
+
+// BaselineSkip returns the automaton's baseline-skip scanner — the exact
+// byte class that can fire an all-input state, compiled once per Tables —
+// or nil when the class saturates the alphabet and scanning cannot pay
+// off. It shares the prefilter's start-class machinery and is safe for
+// concurrent use.
+func (t *Tables) BaselineSkip() *prefilter.ClassScanner {
+	t.skipOnce.Do(func() {
+		if s := prefilter.NewClassScanner(prefilter.StartClass(t.n)); s.Useful() {
+			t.skip = s
+		}
+	})
+	return t.skip
+}
+
 // Bit is the dense state-vector engine, mirroring the AP's per-STE enable
 // mask. It is slower than Sparse for sparse frontiers but is the reference
 // for state-vector semantics (SVC entries, convergence compares).
@@ -76,6 +129,17 @@ type Bit struct {
 	scratch  *bitset.Set
 	allIn    *bitset.Set
 	trans    int64
+
+	// Batched hot loop + baseline skip (StepBatch): CSR edges and the
+	// reporting mask cached from the shared Tables, the start-class
+	// scanner, and the fast-path switch and counter.
+	succOff []int32
+	succ    []nfa.StateID
+	repWord []uint64
+	repCode []int32
+	skip    *prefilter.ClassScanner
+	skipOn  bool
+	skipped int64
 }
 
 // NewBit returns a Bit engine at the start configuration, sharing tab.
@@ -91,7 +155,10 @@ func NewBit(n *nfa.NFA, tab *Tables) *Bit {
 		firedBs:  bitset.New(n.Len()),
 		scratch:  bitset.New(n.Len()),
 		allIn:    bitset.New(n.Len()),
+		skip:     tab.BaselineSkip(),
+		skipOn:   true,
 	}
+	e.succOff, e.succ, e.repWord, e.repCode = tab.edges()
 	for _, q := range n.AllInputStates() {
 		e.allIn.Set(int(q))
 	}
@@ -140,6 +207,126 @@ func (e *Bit) Step(sym byte, off int64, emit EmitFunc) {
 	next.AndNot(e.allIn)
 	e.scratch, e.enabled = e.enabled, next
 }
+
+// batchSymbols is the maximum number of symbols one StepBatch kernel
+// invocation consumes: enough to amortise the per-call setup (match-vector
+// resolution, word-slice hoisting) without starving callers that interleave
+// per-batch bookkeeping (context polls, round bounds).
+const batchSymbols = 64
+
+// skipAhead returns the number of leading input symbols a dead frontier
+// provably cannot react to, consuming them. Without baseline injection a
+// dead frontier is dead forever; with it, only a start-class byte can fire
+// anything, so the scan jumps straight to the next candidate. Consumed
+// symbols change no observable beyond the BaselineSkipped counter —
+// nothing fires, no edge is traversed, no report is emitted — and callers
+// still charge each one its modelled round.
+func (e *Bit) skipAhead(input []byte) int {
+	if !e.skipOn {
+		return 0
+	}
+	var j int
+	if e.baseline {
+		if e.skip == nil {
+			return 0
+		}
+		j = e.skip.NextIn(input, 0, len(input))
+	} else {
+		j = len(input)
+	}
+	if j > 0 {
+		e.firedBs.Reset() // nothing fired on the last consumed symbol
+		e.skipped += int64(j)
+	}
+	return j
+}
+
+// StepBatch consumes between 1 and len(input) symbols starting at absolute
+// offset off, observably identical to calling Step once per consumed
+// symbol. The hot loop processes up to batchSymbols per invocation: the
+// block's match vectors are resolved up front (the batched table lookup),
+// the state-match phase runs as fused word-wide bitset ops, and successor
+// expansion walks the shared CSR edge arrays with the word slices hoisted
+// out of the per-state loop. A dead frontier takes the baseline-skip fast
+// path instead (see skipAhead). It returns the consumed count with the sum
+// and maximum of the frontier length over the consumed symbols, so callers
+// keep per-symbol frontier statistics exact. len(input) must be > 0.
+func (e *Bit) StepBatch(input []byte, off int64, emit EmitFunc) (consumed int, sumFrontier int64, maxFrontier int) {
+	if e.enabled.Empty() {
+		if n := e.skipAhead(input); n > 0 {
+			return n, 0, 0
+		}
+	}
+	k := len(input)
+	if k > batchSymbols {
+		k = batchSymbols
+	}
+	var mats [batchSymbols]*bitset.Set
+	for j := 0; j < k; j++ {
+		mats[j] = e.tab.Match(input[j])
+	}
+	fired := e.firedBs
+	en, nx := e.enabled, e.scratch
+	fdW := fired.Words()
+	succOff, succ := e.succOff, e.succ
+	repWord, repCode := e.repWord, e.repCode
+	trans := e.trans
+	j := 0
+	for j < k {
+		// State match phase: fired = (enabled ∪ allInput) ∩ match[sym].
+		if e.baseline {
+			fired.OrAndOf(en, e.allIn, mats[j])
+		} else {
+			fired.AndOf(en, mats[j])
+		}
+		// State transition phase: next = ∪ succ(fired), minus all-input.
+		nx.Reset()
+		nxW := nx.Words()
+		for wi, w := range fdW {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				q := wi<<6 | b
+				if repWord[wi]&(1<<uint(b)) != 0 && emit != nil {
+					emit(Report{Offset: off + int64(j), State: nfa.StateID(q), Code: repCode[q]})
+				}
+				lo, hi := succOff[q], succOff[q+1]
+				trans += int64(hi - lo)
+				for _, c := range succ[lo:hi] {
+					nxW[int(c)>>6] |= 1 << (uint(c) & 63)
+				}
+			}
+		}
+		cnt := nx.AndNotCount(e.allIn)
+		en, nx = nx, en
+		j++
+		sumFrontier += int64(cnt)
+		if cnt > maxFrontier {
+			maxFrontier = cnt
+		}
+		if cnt == 0 {
+			// Frontier died mid-batch: return so the caller's next call
+			// takes the skip path from the exact death position.
+			break
+		}
+	}
+	e.trans = trans
+	e.enabled, e.scratch = en, nx
+	return j, sumFrontier, maxFrontier
+}
+
+// SetBaselineSkip enables or disables the baseline-skip fast path
+// (enabled by default); disabling forces every symbol through the
+// stepping loop, the ablation the conformance harness exercises.
+func (e *Bit) SetBaselineSkip(on bool) { e.skipOn = on }
+
+// BaselineSkipped returns the cumulative number of symbols consumed by
+// the baseline-skip fast path.
+func (e *Bit) BaselineSkipped() int64 { return e.skipped }
+
+// clearFired empties the fired set (used by wrappers that skip input on
+// this engine's behalf: nothing fired on a skipped symbol).
+func (e *Bit) clearFired() { e.firedBs.Reset() }
 
 // Enabled returns the current enabled vector (excluding all-input states).
 // The set is owned by the engine and invalidated by the next Step.

@@ -195,13 +195,72 @@ func SwitchesOf(e Engine) int64 {
 	return 0
 }
 
+// BatchStepper is implemented by engines with a vectorized multi-symbol
+// hot loop (the bit engine, and the adaptive engine while dense).
+type BatchStepper interface {
+	// StepBatch consumes between 1 and len(input) symbols starting at
+	// absolute input offset off, observably identical to calling Step once
+	// per consumed symbol. It returns the consumed count together with the
+	// sum and maximum of the frontier length over the consumed symbols, so
+	// callers maintain per-symbol frontier statistics exactly. len(input)
+	// must be > 0. Implementations are free to consume fewer symbols than
+	// offered (batch bounds, a frontier death, a representation switch).
+	StepBatch(input []byte, off int64, emit EmitFunc) (consumed int, sumFrontier int64, maxFrontier int)
+}
+
+// BaselineSkipper is implemented by engines with the baseline-skip fast
+// path: when the frontier has collapsed to the always-active baseline,
+// StepBatch consumes symbols outside the start class with a memchr-style
+// class scan instead of stepping them — exactly, since such a symbol
+// provably fires nothing on an empty frontier.
+type BaselineSkipper interface {
+	// SetBaselineSkip enables or disables the fast path (on by default).
+	SetBaselineSkip(on bool)
+	// BaselineSkipped returns the cumulative number of symbols the fast
+	// path consumed.
+	BaselineSkipped() int64
+}
+
+// StepBatchOf advances e by up to len(input) symbols through its batched
+// fast path when it has one, or by exactly one scalar Step otherwise.
+// len(input) must be > 0.
+func StepBatchOf(e Engine, input []byte, off int64, emit EmitFunc) (consumed int, sumFrontier int64, maxFrontier int) {
+	if b, ok := e.(BatchStepper); ok {
+		return b.StepBatch(input, off, emit)
+	}
+	e.Step(input[0], off, emit)
+	l := e.FrontierLen()
+	return 1, int64(l), l
+}
+
+// SetBaselineSkip switches e's baseline-skip fast path, a no-op for
+// backends without one.
+func SetBaselineSkip(e Engine, on bool) {
+	if s, ok := e.(BaselineSkipper); ok {
+		s.SetBaselineSkip(on)
+	}
+}
+
+// BaselineSkippedOf returns e's cumulative baseline-skip count, 0 for
+// backends without the fast path.
+func BaselineSkippedOf(e Engine) int64 {
+	if s, ok := e.(BaselineSkipper); ok {
+		return s.BaselineSkipped()
+	}
+	return 0
+}
+
 var (
-	_ Engine   = (*Sparse)(nil)
-	_ Engine   = (*Bit)(nil)
-	_ Engine   = (*Adaptive)(nil)
-	_ Engine   = (*Meta)(nil)
-	_ Switcher = (*Adaptive)(nil)
-	_ Switcher = (*Meta)(nil)
+	_ Engine          = (*Sparse)(nil)
+	_ Engine          = (*Bit)(nil)
+	_ Engine          = (*Adaptive)(nil)
+	_ Engine          = (*Meta)(nil)
+	_ Switcher        = (*Adaptive)(nil)
+	_ Switcher        = (*Meta)(nil)
+	_ BatchStepper    = (*Bit)(nil)
+	_ BatchStepper    = (*Adaptive)(nil)
+	_ BaselineSkipper = (*Bit)(nil)
+	_ BaselineSkipper = (*Adaptive)(nil)
 )
 
 // Report is one output event: reporting state State (carrying rule
@@ -323,6 +382,10 @@ func (e *Sparse) Step(sym byte, off int64, emit EmitFunc) {
 	e.fired = fired
 	e.fp = fp
 }
+
+// clearFired empties the fired set (used by wrappers that skip input on
+// this engine's behalf: nothing fired on a skipped symbol).
+func (e *Sparse) clearFired() { e.fired = e.fired[:0] }
 
 // Frontier returns the currently enabled states excluding all-input states.
 // The slice is owned by the engine and is invalidated by the next Step.

@@ -1,0 +1,136 @@
+package engine_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"pap/internal/engine"
+	"pap/internal/nfa"
+	"pap/internal/workloads"
+)
+
+// The hot-loop benchmarks run the real Table 1 ruleset automata — not
+// synthetic rings — over sparse traffic: payloads whose bytes mostly fall
+// outside the rulesets' text alphabet (binary/media content scanned by
+// text rules), with periodic printable bursts that revive the frontier and
+// land occasional matches. This is the regime ROADMAP item 2 targets: the
+// frontier spends most of its life on the ASG-only baseline, and the
+// per-symbol step loop is pure overhead that the baseline-skip scan and
+// the batched kernel exist to remove.
+
+// hotloopAutomaton builds one of the internal/workloads benchmarks at a
+// bench-friendly scale.
+func hotloopAutomaton(tb testing.TB, name string, scale float64) *nfa.NFA {
+	tb.Helper()
+	spec, err := workloads.Get(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n, err := spec.Build(scale, 7)
+	if err != nil {
+		tb.Fatalf("build %s: %v", name, err)
+	}
+	return n
+}
+
+// sparsePayload is mostly high bytes (outside every ruleset's pattern
+// alphabet) with a short printable burst every ~2KB so the frontier
+// periodically leaves the baseline and real matches occur.
+func sparsePayload(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(0x80 + rng.Intn(0x80))
+	}
+	burst := []byte("get /index.html http/1.1 host: www.example.com agent: mozilla 5.0\r\n")
+	for at := 512; at+len(burst) < size; at += 1536 + rng.Intn(1024) {
+		copy(out[at:], burst)
+	}
+	return out
+}
+
+// BenchmarkHotLoop measures the vectorized hot loop on the sparse
+// intrusion (ANMLZoo Snort) and regex-suite (Bro217) workloads: the scalar
+// sparse engine is the pre-vectorization baseline, bit/noskip isolates the
+// batched kernel, and bit and auto add the baseline-skip fast path.
+// BENCH_hotloop.json records a sampled run; the acceptance bar is bit ≥5×
+// sparse on both workloads.
+func BenchmarkHotLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	loads := []struct {
+		name  string
+		n     *nfa.NFA
+		input []byte
+	}{
+		{"intrusion", hotloopAutomaton(b, "Snort", 0.05), sparsePayload(rng, 1<<16)},
+		{"regexsuite", hotloopAutomaton(b, "Bro217", 0.5), sparsePayload(rng, 1<<16)},
+	}
+	variants := []struct {
+		name string
+		kind engine.Kind
+		opts engine.RunOpts
+	}{
+		{"sparse", engine.SparseKind, engine.RunOpts{}},
+		{"bit-noskip", engine.BitKind, engine.RunOpts{DisableBaselineSkip: true}},
+		{"bit", engine.BitKind, engine.RunOpts{}},
+		{"auto", engine.Auto, engine.RunOpts{}},
+	}
+	for _, w := range loads {
+		b.Run(w.name, func(b *testing.B) {
+			tab := engine.NewTables(w.n).BuildAll()
+			for _, v := range variants {
+				b.Run(v.name, func(b *testing.B) {
+					b.SetBytes(int64(len(w.input)))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						engine.RunEngineOpts(w.n, w.input, v.kind, tab, v.opts)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestHotLoopGuard is the CI regression guard on the vectorized hot loop:
+// on the sparse intrusion workload from BenchmarkHotLoop, the batched bit
+// engine with baseline-skip must stay at least 5x faster than the scalar
+// sparse engine (the acceptance bar from ISSUE 8; measured headroom is far
+// larger, see BENCH_hotloop.json). The ratio is relative, so the guard is
+// hardware-independent. Gated behind PAP_BENCH_GUARD=1 like
+// TestQuietRegimeGuard because timing asserts don't belong in the default
+// -race matrix.
+func TestHotLoopGuard(t *testing.T) {
+	if os.Getenv("PAP_BENCH_GUARD") == "" {
+		t.Skip("set PAP_BENCH_GUARD=1 to run the hot-loop regression guard")
+	}
+	n := hotloopAutomaton(t, "Snort", 0.05)
+	input := sparsePayload(rand.New(rand.NewSource(61)), 1<<16)
+	tab := engine.NewTables(n).BuildAll()
+
+	// Best-of-N wall time per kind: the minimum is the least noisy
+	// estimator of the achievable per-run cost.
+	measure := func(kind engine.Kind) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < 8; r++ {
+			start := time.Now()
+			engine.RunEngineOpts(n, input, kind, tab, engine.RunOpts{})
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	// Warm both paths (table builds, first-touch cache misses) before timing.
+	measure(engine.SparseKind)
+	measure(engine.BitKind)
+
+	sparse := measure(engine.SparseKind)
+	bit := measure(engine.BitKind)
+	ratio := float64(sparse) / float64(bit)
+	t.Logf("sparse intrusion: sparse %v, bit+skip %v, ratio %.1fx", sparse, bit, ratio)
+	if ratio < 5 {
+		t.Fatalf("hot-loop bit/sparse ratio %.2fx fell below the 5x floor (sparse %v, bit %v)",
+			ratio, sparse, bit)
+	}
+}

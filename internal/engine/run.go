@@ -28,6 +28,14 @@ type Result struct {
 	// exact (the true contribution is zero); literal skips additionally
 	// drop doomed partial frontiers (see RunOpts.LiteralPrefilter).
 	PrefilterSkipped int64
+	// BaselineSkippedBytes counts input bytes consumed by an engine's own
+	// baseline-skip fast path (BaselineSkipper backends: bit and adaptive):
+	// with the frontier collapsed to the always-active baseline, bytes
+	// outside the start class are consumed by a class scan instead of a
+	// step. Like class prefilter skips this is fully exact — every
+	// observable, including the per-symbol frontier statistics, is
+	// preserved bit-for-bit.
+	BaselineSkippedBytes int64
 	// Cache reports the lazy-DFA state-cache counters, zero for backends
 	// without one.
 	Cache CacheStats
@@ -41,6 +49,10 @@ type RunOpts struct {
 	// may undercount doomed partial-literal activity. Match-only callers
 	// (pap.Match and friends) enable it; metric-bearing callers must not.
 	LiteralPrefilter bool
+	// DisableBaselineSkip forces every symbol through the stepping loop
+	// even on engines with the baseline-skip fast path — the ablation the
+	// conformance harness uses to prove the fast path exact.
+	DisableBaselineSkip bool
 }
 
 // Run executes the automaton over the whole input with the default (Auto)
@@ -69,7 +81,11 @@ func skipFrom(pf *prefilter.Prefilter, input []byte, i int, opts RunOpts) int {
 // stepping them; Result.PrefilterSkipped counts the bytes skipped.
 func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpts) Result {
 	e := New(kind, n, tab)
+	if opts.DisableBaselineSkip {
+		SetBaselineSkip(e, false)
+	}
 	pf := PrefilterOf(e)
+	bs, _ := e.(BatchStepper)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	for i := 0; i < len(input); {
@@ -79,6 +95,15 @@ func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpt
 				i = j
 				continue
 			}
+		}
+		if bs != nil {
+			c, sum, max := bs.StepBatch(input[i:], int64(i), emit)
+			res.SumFrontier += sum
+			if max > res.MaxFrontier {
+				res.MaxFrontier = max
+			}
+			i += c
+			continue
 		}
 		e.Step(input[i], int64(i), emit)
 		l := e.FrontierLen()
@@ -90,6 +115,7 @@ func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpt
 	}
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
+	res.BaselineSkippedBytes = BaselineSkippedOf(e)
 	return res
 }
 
@@ -111,9 +137,14 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 		every = ctxCheckEvery
 	}
 	e := New(kind, n, tab)
+	if opts.DisableBaselineSkip {
+		SetBaselineSkip(e, false)
+	}
 	pf := PrefilterOf(e)
+	bs, _ := e.(BatchStepper)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
+	nextPoll := 0
 	for i := 0; i < len(input); {
 		if pf != nil && e.Dead() {
 			if j := skipFrom(pf, input, i, opts); j > i {
@@ -122,12 +153,23 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 				continue
 			}
 		}
-		if i%every == 0 {
+		if i >= nextPoll {
 			if err := ctx.Err(); err != nil {
 				res.Transitions = e.Transitions()
 				res.Cache = CacheStatsOf(e)
+				res.BaselineSkippedBytes = BaselineSkippedOf(e)
 				return res, i, err
 			}
+			nextPoll = i + every
+		}
+		if bs != nil {
+			c, sum, max := bs.StepBatch(input[i:], int64(i), emit)
+			res.SumFrontier += sum
+			if max > res.MaxFrontier {
+				res.MaxFrontier = max
+			}
+			i += c
+			continue
 		}
 		e.Step(input[i], int64(i), emit)
 		l := e.FrontierLen()
@@ -139,6 +181,7 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 	}
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
+	res.BaselineSkippedBytes = BaselineSkippedOf(e)
 	return res, len(input), nil
 }
 
@@ -160,7 +203,7 @@ func RunWithBoundaries(n *nfa.NFA, input []byte, cuts []int) (Result, []Boundary
 // RunWithBoundariesEngine is RunWithBoundaries with an explicit backend
 // kind and optional shared match tables.
 func RunWithBoundariesEngine(n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables) (Result, []Boundary) {
-	res, bounds, _, _ := RunWithBoundariesEngineContext(context.Background(), n, input, cuts, kind, tab, 0)
+	res, bounds, _, _ := RunWithBoundariesEngineContext(context.Background(), n, input, cuts, kind, tab, 0, RunOpts{})
 	return res, bounds
 }
 
@@ -168,17 +211,23 @@ func RunWithBoundariesEngine(n *nfa.NFA, input []byte, cuts []int, kind Kind, ta
 // cooperative cancellation contract as RunEngineContext: ctx is polled
 // every `every` symbols (<= 0 selects the default) and the partial result,
 // with the number of symbols processed, is returned alongside ctx's error
-// on cancellation.
-func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables, every int) (Result, []Boundary, int, error) {
+// on cancellation. Of opts only DisableBaselineSkip applies (the literal
+// scanner is never exact enough for a metric-bearing boundary run).
+func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byte, cuts []int, kind Kind, tab *Tables, every int, opts RunOpts) (Result, []Boundary, int, error) {
 	if every <= 0 {
 		every = ctxCheckEvery
 	}
 	e := New(kind, n, tab)
+	if opts.DisableBaselineSkip {
+		SetBaselineSkip(e, false)
+	}
 	pf := PrefilterOf(e)
+	bs, _ := e.(BatchStepper)
 	var res Result
 	emit := func(r Report) { res.Reports = append(res.Reports, r) }
 	bounds := make([]Boundary, 0, len(cuts))
 	ci := 0
+	nextPoll := 0
 	for i := 0; i < len(input); {
 		// Boundary runs feed the modelled-cycle metrics, so only the fully
 		// exact class scanner may skip here, and a skip is clamped to land
@@ -196,11 +245,32 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 				continue
 			}
 		}
-		if i%every == 0 {
+		if i >= nextPoll {
 			if err := ctx.Err(); err != nil {
 				res.Transitions = e.Transitions()
 				res.Cache = CacheStatsOf(e)
+				res.BaselineSkippedBytes = BaselineSkippedOf(e)
 				return res, bounds, i, err
+			}
+			nextPoll = i + every
+		}
+		// Batch up to one symbol short of the next cut: the cut-defining
+		// symbol is stepped scalar below so its Fired/Enabled record the
+		// boundary. Engine-internal baseline skips stay inside the window
+		// (they are clamped by the slice) and are exact for every metric.
+		if bs != nil {
+			hi := len(input) - 1
+			if ci < len(cuts) && cuts[ci]-1 < hi {
+				hi = cuts[ci] - 1
+			}
+			if i < hi {
+				c, sum, max := bs.StepBatch(input[i:hi], int64(i), emit)
+				res.SumFrontier += sum
+				if max > res.MaxFrontier {
+					res.MaxFrontier = max
+				}
+				i += c
+				continue
 			}
 		}
 		e.Step(input[i], int64(i), emit)
@@ -221,6 +291,7 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 	}
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
+	res.BaselineSkippedBytes = BaselineSkippedOf(e)
 	return res, bounds, len(input), nil
 }
 

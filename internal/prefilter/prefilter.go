@@ -32,8 +32,6 @@
 package prefilter
 
 import (
-	"bytes"
-
 	"pap/internal/nfa"
 )
 
@@ -81,12 +79,7 @@ type Info struct {
 //   - every produced literal has length >= minUsefulLiteralLen and the
 //     total stays within maxLiterals.
 func Extract(n *nfa.NFA) Info {
-	var info Info
-	for _, q := range n.AllInputStates() {
-		info.StartClass = info.StartClass.Union(n.Label(q))
-	}
-	info.Literals = extractLiterals(n)
-	return info
+	return Info{StartClass: StartClass(n), Literals: extractLiterals(n)}
 }
 
 func extractLiterals(n *nfa.NFA) [][]byte {
@@ -222,11 +215,9 @@ func dedupeLiterals(lits [][]byte) [][]byte {
 // Prefilter is an immutable compiled scanner pair. It is safe for
 // concurrent use by any number of engines sharing one automaton.
 type Prefilter struct {
-	info       Info
-	startCount int
-	single     byte // the candidate byte when startCount == 1
-	inStart    [256]bool
-	ac         *acMachine // nil when Info.Literals is nil
+	info Info
+	scan *ClassScanner // compiled start class (always present)
+	ac   *acMachine    // nil when Info.Literals is nil
 }
 
 // Build compiles the prefilter for an automaton. It never returns nil;
@@ -238,13 +229,7 @@ func Build(n *nfa.NFA) *Prefilter {
 // FromInfo compiles a prefilter from an extraction result (split out so
 // tests can exercise scanner construction on synthetic literal sets).
 func FromInfo(info Info) *Prefilter {
-	p := &Prefilter{info: info, startCount: info.StartClass.Count()}
-	for s := 0; s < 256; s++ {
-		if info.StartClass.Test(byte(s)) {
-			p.inStart[s] = true
-			p.single = byte(s)
-		}
-	}
+	p := &Prefilter{info: info, scan: NewClassScanner(info.StartClass)}
 	if len(info.Literals) > 0 {
 		p.ac = buildAC(info.Literals)
 	}
@@ -254,6 +239,11 @@ func FromInfo(info Info) *Prefilter {
 // Info returns the extraction result the prefilter was built from.
 func (p *Prefilter) Info() Info { return p.info }
 
+// StartScanner returns the compiled start-class scanner, shared with
+// execution layers (the bit engine's baseline skip, core's ASG rounds)
+// that scan the same class outside a Prefilter context.
+func (p *Prefilter) StartScanner() *ClassScanner { return p.scan }
+
 // HasLiterals reports whether the literal scanner is available (otherwise
 // NextLiteral degrades to Next).
 func (p *Prefilter) HasLiterals() bool { return p.ac != nil }
@@ -262,7 +252,7 @@ func (p *Prefilter) HasLiterals() bool { return p.ac != nil }
 // byte must be skippable, and candidate bytes must not saturate the
 // alphabet (unless literals sharpen the scan further).
 func (p *Prefilter) Useful() bool {
-	return p.startCount <= usefulMaxStartDensity || p.ac != nil
+	return p.scan.Useful() || p.ac != nil
 }
 
 // Next returns the smallest offset j in [i, len(input)) such that
@@ -279,28 +269,7 @@ func (p *Prefilter) Next(input []byte, i int) int {
 // with internal boundaries (TDM rounds, segment cuts) use the bound to
 // stop skips at the boundary.
 func (p *Prefilter) NextIn(input []byte, i, hi int) int {
-	if hi > len(input) {
-		hi = len(input)
-	}
-	if i >= hi {
-		return hi
-	}
-	switch {
-	case p.startCount == 0:
-		return hi // no all-input states: a dead frontier is dead forever
-	case p.startCount == 1:
-		if j := bytes.IndexByte(input[i:hi], p.single); j >= 0 {
-			return i + j
-		}
-		return hi
-	default:
-		for ; i < hi; i++ {
-			if p.inStart[input[i]] {
-				return i
-			}
-		}
-		return hi
-	}
+	return p.scan.NextIn(input, i, hi)
 }
 
 // NextLiteral returns an offset j in [i, len(input)] such that skipping a

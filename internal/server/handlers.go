@@ -82,6 +82,7 @@ type apStatsJSON struct {
 	FalseReportRatio  float64 `json:"false_report_ratio"`
 	EngineSwitches    int64   `json:"engine_switches"`
 	PrefilterSkipped  int64   `json:"prefilter_skipped"`
+	BaselineSkipped   int64   `json:"baseline_skipped"`
 	ExecMode          string  `json:"exec_mode"`
 	SFAMappings       int64   `json:"sfa_mappings,omitempty"`
 	SFAComposeOps     int64   `json:"sfa_compose_ops,omitempty"`
@@ -274,6 +275,7 @@ func (s *Server) countEngineSteps(k pap.EngineKind, symbols int) {
 // observability counters into the prefilter and lazy-DFA cache metrics.
 func (s *Server) countEngineInfo(info pap.EngineInfo) {
 	s.prefilterSkipped.Add(info.PrefilterSkippedBytes)
+	s.baselineSkipped.Add(info.BaselineSkippedBytes)
 	s.lazyCacheHits.Add(info.CacheHits)
 	s.lazyCacheMisses.Add(info.CacheMisses)
 	s.lazyCacheEvicts.Add(info.CacheEvictions)
@@ -515,6 +517,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			FalseReportRatio:  st.FalseReportRatio,
 			EngineSwitches:    st.EngineSwitches,
 			PrefilterSkipped:  st.PrefilterSkippedBytes,
+			BaselineSkipped:   st.BaselineSkippedBytes,
 			ExecMode:          st.Mode,
 			SFAMappings:       st.SFAMappings,
 			SFAComposeOps:     st.SFAComposeOps,
@@ -525,6 +528,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.countEngineSteps(eng, len(payload))
 		s.engineSwitches.Add(st.EngineSwitches)
 		s.prefilterSkipped.Add(st.PrefilterSkippedBytes)
+		s.baselineSkipped.Add(st.BaselineSkippedBytes)
 		s.sfaMappings.Add(st.SFAMappings)
 		s.sfaCompositions.Add(st.SFAComposeOps)
 	default:
@@ -626,6 +630,7 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 		s.engineSwitches.Add(ws.Switches)
 		s.countEngineInfo(pap.EngineInfo{
 			PrefilterSkippedBytes: ws.PrefilterSkipped,
+			BaselineSkippedBytes:  ws.BaselineSkipped,
 			CacheHits:             ws.CacheHits,
 			CacheMisses:           ws.CacheMisses,
 			CacheEvictions:        ws.CacheEvictions,

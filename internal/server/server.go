@@ -112,6 +112,7 @@ type Server struct {
 	engineSteps      []*Counter // indexed by pap.EngineKind
 	engineSwitches   *Counter
 	prefilterSkipped *Counter
+	baselineSkipped  *Counter
 	lazyCacheHits    *Counter
 	lazyCacheMisses  *Counter
 	lazyCacheEvicts  *Counter
@@ -152,6 +153,8 @@ func New(cfg Config) *Server {
 		"Sparse-dense representation switches made by adaptive engines.", "")
 	s.prefilterSkipped = m.Counter("papd_prefilter_skipped_bytes_total",
 		"Input bytes the literal/class prefilter proved inert and never stepped.", "")
+	s.baselineSkipped = m.Counter("papd_baseline_skipped_bytes_total",
+		"Input bytes the exact baseline-skip fast path scanned past instead of stepping.", "")
 	s.lazyCacheHits = m.Counter("papd_lazydfa_cache_hits_total",
 		"Lazy-DFA state-cache edge hits.", "")
 	s.lazyCacheMisses = m.Counter("papd_lazydfa_cache_misses_total",

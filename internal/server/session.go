@@ -40,6 +40,7 @@ type Session struct {
 type WriteStats struct {
 	Switches         int64
 	PrefilterSkipped int64
+	BaselineSkipped  int64
 	CacheHits        int64
 	CacheMisses      int64
 	CacheEvictions   int64
@@ -53,6 +54,7 @@ func (s *Session) delta() WriteStats {
 	d := WriteStats{
 		Switches:         sw - s.lastSwtch,
 		PrefilterSkipped: info.PrefilterSkippedBytes - s.lastInfo.PrefilterSkippedBytes,
+		BaselineSkipped:  info.BaselineSkippedBytes - s.lastInfo.BaselineSkippedBytes,
 		CacheHits:        info.CacheHits - s.lastInfo.CacheHits,
 		CacheMisses:      info.CacheMisses - s.lastInfo.CacheMisses,
 		CacheEvictions:   info.CacheEvictions - s.lastInfo.CacheEvictions,
@@ -83,6 +85,9 @@ type SessionInfo struct {
 	// PrefilterSkipped counts input bytes the stream's prefilter proved
 	// inert and never stepped (EngineMeta only).
 	PrefilterSkipped int64 `json:"prefilter_skipped,omitempty"`
+	// BaselineSkipped counts input bytes the backend's exact baseline-skip
+	// fast path scanned past instead of stepping.
+	BaselineSkipped int64 `json:"baseline_skipped,omitempty"`
 	// CacheHits/CacheMisses are lazy-DFA state-cache counters
 	// (EngineLazyDFA and EngineMeta only).
 	CacheHits   int64 `json:"cache_hits,omitempty"`
@@ -149,6 +154,7 @@ func (s *Session) Info() SessionInfo {
 		ActiveStates:     s.stream.ActiveStates(),
 		EngineSwitches:   s.stream.EngineSwitches(),
 		PrefilterSkipped: info.PrefilterSkippedBytes,
+		BaselineSkipped:  info.BaselineSkippedBytes,
 		CacheHits:        info.CacheHits,
 		CacheMisses:      info.CacheMisses,
 	}

@@ -377,6 +377,11 @@ type EngineInfo struct {
 	// PrefilterSkippedBytes counts input bytes never stepped because the
 	// prefilter proved them inert on a dead frontier.
 	PrefilterSkippedBytes int64
+	// BaselineSkippedBytes counts input bytes the engine's exact
+	// baseline-skip fast path scanned past (start-class scan while only
+	// always-active states were live). Fully exact: reports, frontier
+	// statistics, and modelled cycles are identical to stepping.
+	BaselineSkippedBytes int64
 	// CacheHits/CacheMisses/CacheEvictions are lazy-DFA state-cache
 	// counters (EngineLazyDFA and EngineMeta).
 	CacheHits, CacheMisses, CacheEvictions int64
@@ -388,6 +393,7 @@ type EngineInfo struct {
 func infoOf(res engine.Result) EngineInfo {
 	return EngineInfo{
 		PrefilterSkippedBytes: res.PrefilterSkipped,
+		BaselineSkippedBytes:  res.BaselineSkippedBytes,
 		CacheHits:             res.Cache.Hits,
 		CacheMisses:           res.Cache.Misses,
 		CacheEvictions:        res.Cache.Evictions,
@@ -557,6 +563,12 @@ type RunStats struct {
 	// boundary run. Pure simulator observability: skipped symbols are
 	// still charged their modelled AP cycles.
 	PrefilterSkippedBytes int64
+	// BaselineSkippedBytes counts input bytes covered by the exact
+	// baseline-skip fast path (start-class scan over regions where only
+	// always-active states were live), across all flows and the golden
+	// boundary run. Exact for every observable and deterministic across
+	// schedulers; skipped symbols still charge their modelled AP cycles.
+	BaselineSkippedBytes int64
 	// Mode is the execution strategy that produced this run ("flows" or
 	// "sfa").
 	Mode string
@@ -662,6 +674,7 @@ func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg 
 			FalseReportRatio:      res.ReportIncrease,
 			EngineSwitches:        res.EngineSwitches,
 			PrefilterSkippedBytes: res.PrefilterSkipped,
+			BaselineSkippedBytes:  res.BaselineSkipped,
 			Mode:                  res.Mode.String(),
 			SFAMappings:           res.SFAMappings,
 			SFAComposeOps:         res.SFAComposeOps,

@@ -29,6 +29,7 @@ type Stream struct {
 	kind   EngineKind
 	eng    engine.Engine
 	pf     *prefilter.Prefilter // non-nil only when the backend carries a useful one
+	bs     engine.BatchStepper  // non-nil when the backend steps in batches
 	offset int64
 	// skipped counts bytes proven inert by the prefilter and never
 	// stepped. Only the class scanner runs here — it is exact per byte,
@@ -62,6 +63,7 @@ func (a *Automaton) NewStream(opts ...StreamOption) *Stream {
 	}
 	s.eng = s.newEngine()
 	s.pf = engine.PrefilterOf(s.eng)
+	s.bs, _ = s.eng.(engine.BatchStepper)
 	s.emit = func(r engine.Report) { s.reports = append(s.reports, r) }
 	return s
 }
@@ -92,19 +94,28 @@ func (s *Stream) Write(chunk []byte) []Match {
 	}
 	s.scratch = s.scratch[:0]
 	s.reports = s.reports[:0]
-	for i := 0; i < len(chunk); i++ {
+	for i := 0; i < len(chunk); {
 		if s.pf != nil && s.eng.Dead() {
 			if j := s.pf.Next(chunk, i); j > i {
 				s.offset += int64(j - i)
 				s.skipped += int64(j - i)
 				i = j
-				if i >= len(chunk) {
-					break
-				}
+				continue
 			}
+		}
+		// Batch-capable backends consume as much of the chunk as one call
+		// allows — the vectorized kernel on a live frontier, the exact
+		// baseline-skip scan on a dead one. Chunk boundaries need no special
+		// handling: both are exact per byte.
+		if s.bs != nil {
+			c, _, _ := s.bs.StepBatch(chunk[i:], s.offset, s.emit)
+			s.offset += int64(c)
+			i += c
+			continue
 		}
 		s.eng.Step(chunk[i], s.offset, s.emit)
 		s.offset++
+		i++
 	}
 	for _, r := range engine.DedupeReports(s.reports) {
 		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
@@ -132,28 +143,41 @@ func (s *Stream) WriteContext(ctx context.Context, chunk []byte) ([]Match, error
 	s.scratch = s.scratch[:0]
 	s.reports = s.reports[:0]
 	var ctxErr error
-	// ctx is polled every streamCtxEvery stepped symbols; a prefilter skip
-	// may jump over a poll offset, which only delays the next poll — skips
-	// are bounded by the chunk and cost no per-symbol work anyway.
-	for i := 0; i < len(chunk); i++ {
-		if i%streamCtxEvery == 0 {
+	// ctx is polled every streamCtxEvery consumed symbols. Batches are
+	// clamped to the next poll offset so the poll cadence is exact; a
+	// prefilter skip may jump over a poll offset, which only delays the
+	// next poll — skips are bounded by the chunk and cost no per-symbol
+	// work anyway.
+	nextPoll := 0
+	for i := 0; i < len(chunk); {
+		if i >= nextPoll {
 			if err := ctx.Err(); err != nil {
 				ctxErr = err
 				break
 			}
+			nextPoll = i + streamCtxEvery
 		}
 		if s.pf != nil && s.eng.Dead() {
 			if j := s.pf.Next(chunk, i); j > i {
 				s.offset += int64(j - i)
 				s.skipped += int64(j - i)
 				i = j
-				if i >= len(chunk) {
-					break
-				}
+				continue
 			}
+		}
+		if s.bs != nil {
+			end := nextPoll
+			if end > len(chunk) {
+				end = len(chunk)
+			}
+			c, _, _ := s.bs.StepBatch(chunk[i:end], s.offset, s.emit)
+			s.offset += int64(c)
+			i += c
+			continue
 		}
 		s.eng.Step(chunk[i], s.offset, s.emit)
 		s.offset++
+		i++
 	}
 	for _, r := range engine.DedupeReports(s.reports) {
 		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
@@ -201,12 +225,19 @@ func (s *Stream) EngineSwitches() int64 { return engine.SwitchesOf(s.eng) }
 // a prefilter, i.e. EngineMeta over a ruleset with a narrow start class).
 func (s *Stream) PrefilterSkipped() int64 { return s.skipped }
 
+// BaselineSkipped returns the number of input bytes the backend's exact
+// baseline-skip fast path scanned past instead of stepping (0 for backends
+// without the fast path, and for rulesets whose start class is too wide to
+// ever skip). Unlike the prefilter this path preserves every observable.
+func (s *Stream) BaselineSkipped() int64 { return engine.BaselineSkippedOf(s.eng) }
+
 // EngineInfo returns the stream's cumulative backend observability
 // counters since creation or the last Reset.
 func (s *Stream) EngineInfo() EngineInfo {
 	cs := engine.CacheStatsOf(s.eng)
 	return EngineInfo{
 		PrefilterSkippedBytes: s.skipped,
+		BaselineSkippedBytes:  engine.BaselineSkippedOf(s.eng),
 		CacheHits:             cs.Hits,
 		CacheMisses:           cs.Misses,
 		CacheEvictions:        cs.Evictions,
@@ -219,6 +250,7 @@ func (s *Stream) EngineInfo() EngineInfo {
 func (s *Stream) Reset() {
 	s.eng = s.newEngine()
 	s.pf = engine.PrefilterOf(s.eng)
+	s.bs, _ = s.eng.(engine.BatchStepper)
 	s.offset = 0
 	s.skipped = 0
 	s.scratch = s.scratch[:0]
