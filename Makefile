@@ -7,8 +7,8 @@ GO ?= go
 COVER_MIN ?= 85.0
 
 .PHONY: all build test vet race fuzz bench bench-segments bench-prefilter \
-	bench-sfa bench-hotloop experiments report serve clean conformance cover \
-	chaos vulncheck
+	bench-sfa bench-hotloop bench-papd experiments report serve clean \
+	conformance cover chaos vulncheck load-smoke
 
 all: build vet test
 
@@ -96,6 +96,21 @@ bench-prefilter:
 bench-hotloop:
 	$(GO) test -run xxx -bench BenchmarkHotLoop -benchmem -count 3 ./internal/engine/
 	PAP_BENCH_GUARD=1 $(GO) test -run TestHotLoopGuard -v ./internal/engine/
+
+# Load smoke: papload drives a spawned 2-replica papd cluster (shard
+# router + coalescing on) in mixed match/stream mode with hot reloads
+# mid-run, and fails unless every request succeeded, no streaming session
+# lost state, and the coalescer actually batched (see docs/SERVER.md).
+load-smoke:
+	$(GO) run ./cmd/papload -replicas 2 -mode mixed -duration 3s -conns 8 \
+		-reloads 2 -require-zero-errors -require-coalescing
+
+# Replica-scaling load bench: papload sweeps 1..4 spawned replicas and
+# writes latency percentiles + throughput per cluster size (the numbers
+# behind BENCH_papd.json).
+bench-papd:
+	$(GO) run ./cmd/papload -bench -bench-max-replicas 4 -mode match \
+		-duration 5s -conns 8 -out BENCH_papd.json
 
 # Regenerate every table and figure at the default reduced scale.
 experiments:

@@ -8,6 +8,16 @@
 //	papd [-addr :8461] [-workers N] [-queue N] [-timeout 30s]
 //	     [-max-match-duration 0] [-stream-idle 10m] [-max-body 16777216]
 //	     [-engine auto] [-mode flows] [-preload name=patterns.txt]...
+//	     [-peers host1:8461,host2:8461] [-advertise host0:8461]
+//	     [-batch-window 0] [-batch-max 64] [-batch-max-bytes 4096]
+//	     [-tenant-rps 0] [-tenant-burst 0]
+//
+// -peers enables the shard router: each ruleset name is owned by one
+// replica on a consistent-hash ring over advertise+peers, and requests
+// for rulesets owned elsewhere are forwarded there (with local fallback
+// when the owner is down). -batch-window enables request coalescing for
+// small match payloads; -tenant-rps enforces per-tenant (X-API-Key)
+// token-bucket quotas with 429 + Retry-After beyond the budget.
 //
 // Each -preload flag registers a regex ruleset at startup from a file of
 // one pattern per line (blank lines and #-comment lines skipped);
@@ -67,6 +77,18 @@ func readPatterns(path string) ([]string, error) {
 	return out, sc.Err()
 }
 
+// splitPeers parses the -peers flag: a comma-separated address list,
+// tolerating whitespace and empty elements.
+func splitPeers(list string) []string {
+	var peers []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 // preload registers every name=file spec into the server's registry,
 // serving them with the given default engine.
 func preload(s *server.Server, specs []string, engine string) error {
@@ -103,7 +125,16 @@ func main() {
 		execMode   = flag.String("mode", "flows",
 			"default parallel execution mode (requests may override with mode=sfa): "+
 				strings.Join(pap.ExecModeNames(), ", "))
-		preloads preloadFlag
+		peerList    = flag.String("peers", "", "comma-separated advertised addresses of the other replicas (enables the shard router)")
+		advertise   = flag.String("advertise", "", "this replica's address as peers reach it (default -addr)")
+		peerFails   = flag.Int("peer-fail-threshold", 3, "consecutive forward failures before a peer is ejected from routing")
+		peerCool    = flag.Duration("peer-cooldown", 10*time.Second, "how long an ejected peer stays out of routing")
+		batchWindow = flag.Duration("batch-window", 0, "coalesce small match requests arriving within this window into shared worker tasks (0 disables)")
+		batchMax    = flag.Int("batch-max", 64, "flush a coalesced batch early at this many requests")
+		batchBytes  = flag.Int("batch-max-bytes", 4096, "largest payload eligible for coalescing")
+		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant (X-API-Key) requests/second on the worker pool, 429 beyond (0 disables)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant burst allowance (0 = max(tenant-rps, 1))")
+		preloads    preloadFlag
 	)
 	flag.Var(&preloads, "preload", "register a ruleset at startup: name=patterns.txt (repeatable)")
 	flag.Parse()
@@ -122,6 +153,15 @@ func main() {
 		MaxBodyBytes:      *maxBody,
 		SerialSegments:    *serialSegs,
 		DefaultExecMode:   mode,
+		Peers:             splitPeers(*peerList),
+		AdvertiseAddr:     *advertise,
+		PeerFailThreshold: *peerFails,
+		PeerCooldown:      *peerCool,
+		BatchWindow:       *batchWindow,
+		BatchMaxSize:      *batchMax,
+		BatchMaxBytes:     *batchBytes,
+		TenantRPS:         *tenantRPS,
+		TenantBurst:       *tenantBurst,
 	})
 	if err := preload(s, preloads.specs, *engine); err != nil {
 		log.Fatal(err)

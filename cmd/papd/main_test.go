@@ -63,3 +63,20 @@ func TestPreloadErrors(t *testing.T) {
 		t.Fatalf("Set: %v, String: %q", err, pf.String())
 	}
 }
+
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"a:1", 1},
+		{"a:1,b:2", 2},
+		{" a:1 , , b:2 ,", 2},
+	}
+	for _, c := range cases {
+		if got := splitPeers(c.in); len(got) != c.want {
+			t.Errorf("splitPeers(%q) = %q, want %d peers", c.in, got, c.want)
+		}
+	}
+}

@@ -49,6 +49,7 @@ type registerRequest struct {
 
 type automatonJSON struct {
 	Name     string    `json:"name"`
+	Version  int       `json:"version"`
 	Kind     string    `json:"kind"`
 	Patterns int       `json:"patterns"`
 	Distance int       `json:"distance,omitempty"`
@@ -154,6 +155,38 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
+// tenantOf labels the request's tenant for quotas and metrics: the
+// X-API-Key header, or "anonymous".
+func tenantOf(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
+// checkQuota spends one token from the request tenant's bucket. On an
+// empty bucket it writes the 429 with Retry-After and reports false.
+// Quotas guard the worker pool, so they run where the work runs: a
+// request forwarded to its owning replica is charged there, not here.
+func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
+	if s.quotas == nil {
+		return true
+	}
+	tenant := tenantOf(r)
+	ok, wait := s.quotas.Allow(tenant)
+	if ok {
+		return true
+	}
+	sec := retryAfterSeconds(wait)
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	s.metrics.Counter("papd_quota_rejected_total",
+		"Requests rejected by per-tenant quotas, by tenant.",
+		fmt.Sprintf("tenant=%q", EscapeLabelValue(tenant))).Inc()
+	writeErr(w, http.StatusTooManyRequests,
+		"tenant over quota, retry in %ds", sec)
+	return false
+}
+
 // dispatch runs fn on the worker pool under the match timeout, translating
 // pool backpressure into 429 and timeouts into 503. Returns true when fn
 // ran to completion and the caller should write its success response.
@@ -251,6 +284,7 @@ func (s *Server) automatonJSON(e *Entry) automatonJSON {
 	st := e.Automaton.Stats()
 	return automatonJSON{
 		Name:        e.Name,
+		Version:     e.Version,
 		Kind:        e.Kind,
 		Patterns:    e.Patterns,
 		Distance:    e.Distance,
@@ -331,7 +365,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Register(req.Name, req.Kind, req.Patterns, req.Distance, req.Engine)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusCreated, s.automatonJSON(e))
+		// A fresh name is a 201; re-registering an existing name is a
+		// zero-downtime hot reload to version v+1 and answers 200.
+		code := http.StatusCreated
+		if e.Version > 1 {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, s.automatonJSON(e))
 	case errors.Is(err, ErrExists):
 		writeErr(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, ErrTooMany):
@@ -424,13 +464,25 @@ func resolveEngine(q map[string][]string, e *Entry) (pap.EngineKind, error) {
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	e, err := s.reg.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	payload, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Shard routing: a ruleset owned by a healthy peer is matched there
+	// (concentrating its caches and batches on one replica); if the
+	// forward fails in transport we fall back to serving locally.
+	if addr, route := s.router.routeTo(r, name); route {
+		if s.router.Forward(w, r, addr, payload) {
+			return
+		}
+	}
+	e, err := s.reg.Get(name)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	payload, ok := s.readBody(w, r)
-	if !ok {
+	if !s.checkQuota(w, r) {
 		return
 	}
 	q := r.URL.Query()
@@ -468,7 +520,27 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			ms   []pap.Match
 			info pap.EngineInfo
 		)
-		if !s.dispatch(w, r, func() {
+		if s.coalescer.Enabled() && len(payload) <= s.cfg.BatchMaxBytes {
+			// Small payload: join the batch for this ruleset version and
+			// engine. Pool-level errors surface exactly as they would on
+			// the solo dispatch path.
+			ms, info, matchErr = s.coalescer.Match(execCtx, e, eng, payload)
+			switch {
+			case matchErr == nil || isAbort(matchErr):
+			case errors.Is(matchErr, ErrQueueFull):
+				s.poolRejected.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, "matching queue full, retry later")
+				return
+			case errors.Is(matchErr, ErrPoolClosed):
+				writeErr(w, http.StatusServiceUnavailable, "server draining")
+				return
+			default:
+				s.countCancellation("client_gone")
+				writeErr(w, http.StatusServiceUnavailable, "request aborted: %v", matchErr)
+				return
+			}
+		} else if !s.dispatch(w, r, func() {
 			ms, info, matchErr = e.Automaton.MatchWithInfoContext(execCtx, payload, eng)
 		}) {
 			return
@@ -561,6 +633,19 @@ func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
+	// A stream for a peer-owned ruleset opens on the owner; remember
+	// where the session lives so writes through this replica follow it.
+	if addr, route := s.router.routeTo(r, req.Automaton); route {
+		if code, respBody, done := s.router.ForwardCapture(w, r, addr, body); done {
+			if code == http.StatusCreated {
+				var si SessionInfo
+				if json.Unmarshal(respBody, &si) == nil && si.ID != "" {
+					s.router.RememberSession(si.ID, addr)
+				}
+			}
+			return
+		}
+	}
 	e, err := s.reg.Get(req.Automaton)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
@@ -590,8 +675,35 @@ func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"streams": s.sessions.List()})
 }
 
+// forwardSession relays a request for a session that lives on a peer
+// (learned when its open was forwarded there). A 404 from the owner, or
+// final being true (the close path), drops the routing entry. Reports
+// whether the response was written; a transport failure falls through to
+// local handling.
+func (s *Server) forwardSession(w http.ResponseWriter, r *http.Request, id string, body []byte, final bool) bool {
+	if r.Header.Get(forwardHeader) != "" {
+		return false
+	}
+	addr, owned := s.router.SessionOwner(id)
+	if !owned {
+		return false
+	}
+	code, _, done := s.router.ForwardCapture(w, r, addr, body)
+	if !done {
+		return false
+	}
+	if final || code == http.StatusNotFound {
+		s.router.ForgetSession(id)
+	}
+	return true
+}
+
 func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessions.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.forwardSession(w, r, id, nil, false) {
+		return
+	}
+	sess, err := s.sessions.Get(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -600,13 +712,20 @@ func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessions.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	chunk, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if s.forwardSession(w, r, id, chunk, false) {
+		return
+	}
+	sess, err := s.sessions.Get(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	chunk, ok := s.readBody(w, r)
-	if !ok {
+	if !s.checkQuota(w, r) {
 		return
 	}
 	execCtx, cancelExec, err := s.execContext(r, r.URL.Query())
@@ -667,7 +786,11 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
-	if err := s.sessions.Close(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if s.forwardSession(w, r, id, nil, true) {
+		return
+	}
+	if err := s.sessions.Close(id); err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}

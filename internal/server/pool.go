@@ -15,11 +15,12 @@ import (
 // without ever running. Close drains everything already accepted, which is
 // what lets papd shut down gracefully with no match dropped mid-flight.
 type Pool struct {
-	tasks    chan *poolTask
-	wg       sync.WaitGroup // workers
-	active   atomic.Int64
-	started  atomic.Int64
-	rejected atomic.Int64
+	tasks     chan *poolTask
+	wg        sync.WaitGroup // workers
+	active    atomic.Int64
+	started   atomic.Int64
+	rejected  atomic.Int64
+	abandoned atomic.Int64
 
 	mu      sync.RWMutex // guards closed vs. sends on tasks
 	closed  bool
@@ -97,7 +98,10 @@ func (p *Pool) Do(ctx context.Context, fn func()) error {
 		return nil
 	case <-ctx.Done():
 		if t.claimed.CompareAndSwap(false, true) {
-			return ctx.Err() // still queued: abandoned, will never run
+			// Still queued: abandoned, will never run — and therefore
+			// never counted in Started or Active.
+			p.abandoned.Add(1)
+			return ctx.Err()
 		}
 		// Already running. Report the timeout; the worker finishes and
 		// discards into the abandoned task.
@@ -122,6 +126,11 @@ func (p *Pool) Started() int64 { return p.started.Load() }
 
 // Rejected returns the cumulative number of ErrQueueFull rejections.
 func (p *Pool) Rejected() int64 { return p.rejected.Load() }
+
+// Abandoned returns the cumulative number of tasks whose caller gave up
+// while they were still queued; abandoned tasks never run and never
+// appear in Started or Active.
+func (p *Pool) Abandoned() int64 { return p.abandoned.Load() }
 
 // Close stops accepting work, drains every task already queued, and waits
 // for all workers to exit. Safe to call more than once.

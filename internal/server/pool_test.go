@@ -119,3 +119,53 @@ func TestPoolCloseDrains(t *testing.T) {
 		t.Fatalf("expected ErrPoolClosed after Close, got %v", err)
 	}
 }
+
+// TestPoolAbandonedAccounting pins the abandonment contract: a task whose
+// caller gives up while it is still queued is counted in Abandoned() and
+// never appears in Started or Active — the pool's utilization metrics
+// reflect only work that actually ran.
+func TestPoolAbandonedAccounting(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+
+	// Occupy the single worker so later submissions stay queued.
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() {
+		close(running)
+		<-block
+	})
+	<-running
+
+	// Queue tasks whose contexts are already dead, then let them abandon.
+	const n = 4
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+			defer cancel()
+			if err := p.Do(ctx, func() { ran.Add(1) }); err != context.DeadlineExceeded {
+				t.Errorf("queued-then-abandoned Do = %v, want DeadlineExceeded", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(block)
+	p.Close() // drain: the worker walks past the abandoned tasks
+
+	if got := p.Abandoned(); got != n {
+		t.Errorf("Abandoned = %d, want %d", got, n)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d abandoned tasks ran, want 0", got)
+	}
+	if got := p.Started(); got != 1 {
+		t.Errorf("Started = %d, want 1 (only the blocker): abandoned tasks must not count", got)
+	}
+	if got := p.Active(); got != 0 {
+		t.Errorf("Active = %d, want 0 after drain", got)
+	}
+}

@@ -13,19 +13,36 @@ import (
 	"pap"
 )
 
-// Registry holds the compiled automata papd serves. Compilation happens
-// once, at registration; every match request and streaming session then
-// shares the same immutable *pap.Automaton (the package-level concurrency
-// contract makes this safe), so serving cost is pure matching cost.
+// Registry holds the compiled automata papd serves, versioned per name.
+// Compilation happens once, at registration; every match request and
+// streaming session then shares the same immutable *pap.Automaton (the
+// package-level concurrency contract makes this safe), so serving cost
+// is pure matching cost.
+//
+// Registering a name that already exists is a zero-downtime hot reload:
+// the new patterns compile off-lock, then atomically replace the old
+// entry as version v+1. Work that already resolved the old *Entry — an
+// in-flight match, a streaming session — keeps its pinned, immutable
+// automaton; only new lookups see the new version. Versions are
+// monotone per name for the life of the registry, surviving deletes, so
+// a dashboard watching papd_ruleset_version never sees it regress.
 type Registry struct {
-	mu    sync.RWMutex
-	autos map[string]*Entry
-	max   int
+	mu      sync.RWMutex
+	autos   map[string]*Entry
+	pending map[string]bool // names reserved by an in-flight registration
+	lastVer map[string]int  // highest version ever installed per name
+	max     int
+
+	// onInstall, when set, runs after each successful install (outside
+	// r.mu) — the server uses it to register the per-ruleset version
+	// gauge for preloaded and API-registered rulesets alike.
+	onInstall func(*Entry)
 }
 
-// Entry is one registered ruleset with its serving statistics.
+// Entry is one registered ruleset version with its serving statistics.
 type Entry struct {
 	Name      string
+	Version   int // 1 for a fresh name, v+1 on each hot reload
 	Kind      string // "regex", "hamming" or "levenshtein"
 	Patterns  int
 	Distance  int            // for hamming/levenshtein
@@ -40,7 +57,7 @@ type Entry struct {
 
 // Registration errors.
 var (
-	ErrExists      = errors.New("server: automaton already registered")
+	ErrExists      = errors.New("server: registration for this name already in flight")
 	ErrNotFound    = errors.New("server: automaton not found")
 	ErrTooMany     = errors.New("server: automata limit reached")
 	ErrBadName     = errors.New(`server: name must match [A-Za-z0-9_.:-]{1,64}`)
@@ -52,21 +69,80 @@ var (
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.:-]{1,64}$`)
 
+// compileHook, when non-nil, observes every compile the registry pays
+// for. Tests use it to prove that rejected registrations never compile.
+var compileHook func(name string)
+
 // NewRegistry returns an empty registry holding at most max automata
 // (max <= 0 means 1024).
 func NewRegistry(max int) *Registry {
 	if max <= 0 {
 		max = 1024
 	}
-	return &Registry{autos: make(map[string]*Entry), max: max}
+	return &Registry{
+		autos:   make(map[string]*Entry),
+		pending: make(map[string]bool),
+		lastVer: make(map[string]int),
+		max:     max,
+	}
 }
 
-// Register compiles patterns under the given kind and stores the result.
-// kind "" defaults to "regex"; distance is only meaningful for "hamming"
-// and "levenshtein". engineName sets the ruleset's default execution
-// backend ("" means "auto"); individual requests may override it. Names
-// are restricted so they can be embedded in metric labels without
-// escaping surprises.
+// SetInstallHook wires a callback invoked after every successful install
+// (registration or hot reload), outside the registry lock.
+func (r *Registry) SetInstallHook(fn func(*Entry)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onInstall = fn
+}
+
+// reserve claims name under the lock before any compile work: duplicate
+// concurrent registrations fail fast with ErrExists and the automata
+// limit is enforced against installed + reserved names, so a losing
+// caller never pays a compile. The returned release must be called
+// exactly once, with the compiled entry to install or nil to abort.
+func (r *Registry) reserve(name string) (func(e *Entry), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending[name] {
+		return nil, ErrExists
+	}
+	if _, reload := r.autos[name]; !reload {
+		// Only genuinely new names consume a slot; hot reloads replace.
+		if len(r.autos)+len(r.pending) >= r.max {
+			return nil, ErrTooMany
+		}
+	}
+	r.pending[name] = true
+	return func(e *Entry) {
+		r.mu.Lock()
+		delete(r.pending, name)
+		var hook func(*Entry)
+		if e != nil {
+			e.Version = r.lastVer[name] + 1
+			r.lastVer[name] = e.Version
+			r.autos[name] = e
+			hook = r.onInstall
+		}
+		r.mu.Unlock()
+		if hook != nil {
+			hook(e)
+		}
+	}, nil
+}
+
+// Register compiles patterns under the given kind and installs the
+// result. kind "" defaults to "regex"; distance is only meaningful for
+// "hamming" and "levenshtein". engineName sets the ruleset's default
+// execution backend ("" means "auto"); individual requests may override
+// it. Names are restricted so they can be embedded in metric labels
+// without escaping surprises.
+//
+// Registering an existing name is a hot reload: the entry is replaced
+// with version v+1 once compilation succeeds, while everything pinned to
+// the old entry keeps serving it. The name is reserved before the
+// compile starts, so of several concurrent registrations for one name
+// exactly one compiles and installs; the rest fail immediately with
+// ErrExists.
 func (r *Registry) Register(name, kind string, patterns []string, distance int, engineName string) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, ErrBadName
@@ -78,22 +154,36 @@ func (r *Registry) Register(name, kind string, patterns []string, distance int, 
 	if engErr != nil {
 		return nil, ErrBadEngine
 	}
-	var (
-		a   *pap.Automaton
-		err error
-	)
-	switch kind {
-	case "", "regex":
+	if kind == "" {
 		kind = "regex"
+	}
+	switch kind {
+	case "regex", "hamming", "levenshtein":
+	default:
+		return nil, ErrUnknownKind
+	}
+
+	install, err := r.reserve(name)
+	if err != nil {
+		return nil, err
+	}
+
+	// Compile outside the lock: reads, lists and unrelated registrations
+	// proceed while this (potentially large) ruleset builds.
+	if compileHook != nil {
+		compileHook(name)
+	}
+	var a *pap.Automaton
+	switch kind {
+	case "regex":
 		a, err = pap.Compile(name, patterns)
 	case "hamming":
 		a, err = pap.Hamming(name, patterns, distance)
 	case "levenshtein":
 		a, err = pap.Levenshtein(name, patterns, distance)
-	default:
-		return nil, ErrUnknownKind
 	}
 	if err != nil {
+		install(nil)
 		return nil, fmt.Errorf("server: compile %q: %w", name, err)
 	}
 	e := &Entry{
@@ -105,19 +195,11 @@ func (r *Registry) Register(name, kind string, patterns []string, distance int, 
 		Created:   time.Now().UTC(),
 		Automaton: a,
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.autos[name]; dup {
-		return nil, ErrExists
-	}
-	if len(r.autos) >= r.max {
-		return nil, ErrTooMany
-	}
-	r.autos[name] = e
+	install(e)
 	return e, nil
 }
 
-// Get returns the entry for name, or ErrNotFound.
+// Get returns the current entry for name, or ErrNotFound.
 func (r *Registry) Get(name string) (*Entry, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -128,9 +210,21 @@ func (r *Registry) Get(name string) (*Entry, error) {
 	return e, nil
 }
 
+// Version returns the currently served version of name, or 0 when the
+// name is not registered (papd_ruleset_version reads this).
+func (r *Registry) Version(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.autos[name]; ok {
+		return e.Version
+	}
+	return 0
+}
+
 // Delete removes name from the registry. Streaming sessions already bound
 // to the automaton keep working — the compiled automaton is immutable and
-// simply becomes unreachable for new work.
+// simply becomes unreachable for new work. A later re-registration of the
+// name continues the version sequence rather than restarting it.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -141,7 +235,7 @@ func (r *Registry) Delete(name string) error {
 	return nil
 }
 
-// List returns all entries sorted by name.
+// List returns all current entries sorted by name.
 func (r *Registry) List() []*Entry {
 	r.mu.RLock()
 	out := make([]*Entry, 0, len(r.autos))

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Router shards rulesets across a static set of papd replicas with a
+// consistent-hash ring: each ruleset name has one owning replica, and a
+// replica receiving a request for a ruleset it does not own forwards the
+// request there, so every replica's lazy-DFA caches, batches and
+// streaming sessions for a ruleset concentrate on one process instead of
+// being diluted N ways. Peer health is tracked passively: a peer that
+// fails forwardFailThreshold consecutive forwards is ejected from
+// routing for a cooldown, during which its rulesets are served locally
+// (every replica can serve every ruleset — ownership is an optimization,
+// not a partition), then retried.
+//
+// Forwarded requests carry the X-Papd-Forwarded header and are always
+// served locally by the receiving replica, so a stale or disagreeing
+// ring can never loop a request.
+//
+// Streaming sessions live on the replica that created them. The router
+// forwards stream opens to the ruleset's owner and remembers which peer
+// answered, so follow-up writes/gets/closes for that session id forward
+// to the same peer from any replica.
+type Router struct {
+	self   string   // this replica's advertised address
+	nodes  []string // self + peers, as configured
+	ring   []ringPoint
+	client *http.Client
+
+	failThreshold int
+	cooldown      time.Duration
+
+	mu           sync.Mutex
+	peers        map[string]*peerState
+	sessionOwner map[string]string // forwarded session id -> owning peer
+
+	// Metrics callbacks, optional (nil-safe): wired by the server.
+	onForward  func(peer string, ok bool)
+	onFallback func()
+	onEject    func(peer string)
+}
+
+type ringPoint struct {
+	h    uint64
+	addr string
+}
+
+type peerState struct {
+	fails        int
+	ejectedUntil time.Time
+}
+
+// forwardHeader marks a request as already routed once; receivers serve
+// it locally unconditionally.
+const forwardHeader = "X-Papd-Forwarded"
+
+// ringVnodes is the number of virtual nodes per replica; 64 keeps the
+// keyspace split within a few percent of even for small clusters.
+const ringVnodes = 64
+
+// NewRouter builds a router for this replica (advertised as self) and
+// its peers. Empty peers disables routing and returns nil.
+// failThreshold <= 0 defaults to 3 consecutive failures; cooldown <= 0
+// defaults to 10s.
+func NewRouter(self string, peers []string, failThreshold int, cooldown time.Duration) *Router {
+	if len(peers) == 0 {
+		return nil
+	}
+	if failThreshold <= 0 {
+		failThreshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	r := &Router{
+		self:          self,
+		nodes:         append([]string{self}, peers...),
+		client:        &http.Client{Timeout: 60 * time.Second},
+		failThreshold: failThreshold,
+		cooldown:      cooldown,
+		peers:         make(map[string]*peerState),
+		sessionOwner:  make(map[string]string),
+	}
+	for _, n := range r.nodes {
+		for v := 0; v < ringVnodes; v++ {
+			r.ring = append(r.ring, ringPoint{h: hash64(fmt.Sprintf("%s#%d", n, v)), addr: n})
+		}
+		if n != self {
+			r.peers[n] = &peerState{}
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].h < r.ring[j].h })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// Enabled reports whether routing is active (nil-safe).
+func (r *Router) Enabled() bool { return r != nil }
+
+// Nodes returns the configured ring membership (self first).
+func (r *Router) Nodes() []string { return r.nodes }
+
+// OwnerOf returns the replica owning name on the consistent-hash ring.
+func (r *Router) OwnerOf(name string) string {
+	h := hash64(name)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].h >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].addr
+}
+
+// routeTo decides whether a request for name should be forwarded, and to
+// whom: the owner, when it is a healthy remote peer. A request already
+// carrying the forwarded header, an owner that is self, or an ejected
+// owner all serve locally.
+func (r *Router) routeTo(req *http.Request, name string) (string, bool) {
+	if r == nil || req.Header.Get(forwardHeader) != "" {
+		return "", false
+	}
+	owner := r.OwnerOf(name)
+	if owner == r.self {
+		return "", false
+	}
+	if !r.healthy(owner) {
+		if r.onFallback != nil {
+			r.onFallback()
+		}
+		return "", false
+	}
+	return owner, true
+}
+
+func (r *Router) healthy(addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[addr]
+	if !ok {
+		return false
+	}
+	return !time.Now().Before(p.ejectedUntil)
+}
+
+// report records a forward outcome for addr: consecutive failures eject
+// the peer from routing for the cooldown.
+func (r *Router) report(addr string, ok bool) {
+	var ejected bool
+	r.mu.Lock()
+	if p, found := r.peers[addr]; found {
+		if ok {
+			p.fails = 0
+		} else {
+			p.fails++
+			if p.fails >= r.failThreshold {
+				p.ejectedUntil = time.Now().Add(r.cooldown)
+				p.fails = 0
+				ejected = true
+			}
+		}
+	}
+	r.mu.Unlock()
+	if r.onForward != nil {
+		r.onForward(addr, ok)
+	}
+	if ejected && r.onEject != nil {
+		r.onEject(addr)
+	}
+}
+
+// EjectedPeers returns the number of peers currently ejected from
+// routing (the papd_router_peers_ejected gauge).
+func (r *Router) EjectedPeers() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, p := range r.peers {
+		if now.Before(p.ejectedUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// forward replays the request (with the already-consumed body) to addr
+// and returns the peer's response. A transport failure counts against
+// the peer's health and reports ok=false so the caller serves locally
+// instead; any HTTP response — including errors like 404 or 429 — is the
+// owner's authoritative answer and is relayed as-is.
+func (r *Router) forward(req *http.Request, addr string, body []byte) (*http.Response, bool) {
+	url := "http://" + addr + req.URL.Path
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	if key := req.Header.Get("X-API-Key"); key != "" {
+		out.Header.Set("X-API-Key", key)
+	}
+	out.Header.Set(forwardHeader, r.self)
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.report(addr, false)
+		return nil, false
+	}
+	r.report(addr, true)
+	return resp, true
+}
+
+// Forward proxies the request to addr and relays the peer's response to
+// w. It returns false — having written nothing — when the peer is
+// unreachable, so the caller can fall back to serving locally.
+func (r *Router) Forward(w http.ResponseWriter, req *http.Request, addr string, body []byte) bool {
+	resp, ok := r.forward(req, addr, body)
+	if !ok {
+		return false
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+	return true
+}
+
+// ForwardCapture proxies like Forward but also returns the response
+// status and body (stream opens parse it to learn the session id).
+func (r *Router) ForwardCapture(w http.ResponseWriter, req *http.Request, addr string, body []byte) (int, []byte, bool) {
+	resp, ok := r.forward(req, addr, body)
+	if !ok {
+		return 0, nil, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		r.report(addr, false)
+		return 0, nil, false
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	copyRetryAfter(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data)
+	return resp.StatusCode, data, true
+}
+
+func relay(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	copyRetryAfter(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func copyRetryAfter(w http.ResponseWriter, resp *http.Response) {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+}
+
+// RememberSession records that session id lives on peer addr, so
+// follow-up requests for it forward there.
+func (r *Router) RememberSession(id, addr string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	r.sessionOwner[id] = addr
+	r.mu.Unlock()
+}
+
+// SessionOwner returns the peer a forwarded session lives on, if known.
+func (r *Router) SessionOwner(id string) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addr, ok := r.sessionOwner[id]
+	return addr, ok
+}
+
+// ForgetSession drops the routing entry for a closed or expired session.
+func (r *Router) ForgetSession(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.sessionOwner, id)
+	r.mu.Unlock()
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRouterDisabled proves the no-peer configuration disables routing
+// with a nil router that is safe at every handler touchpoint.
+func TestRouterDisabled(t *testing.T) {
+	if r := NewRouter("a:1", nil, 0, 0); r != nil {
+		t.Fatalf("NewRouter with no peers = %v, want nil", r)
+	}
+	var r *Router
+	if r.Enabled() {
+		t.Fatal("nil Router.Enabled() = true")
+	}
+	req, _ := http.NewRequest("POST", "/v1/automata/x/match", nil)
+	if addr, route := r.routeTo(req, "x"); route {
+		t.Fatalf("nil Router.routeTo = (%q, true), want no route", addr)
+	}
+	r.RememberSession("id", "peer")
+	if _, ok := r.SessionOwner("id"); ok {
+		t.Fatal("nil Router.SessionOwner found a session")
+	}
+	r.ForgetSession("id")
+	if n := r.EjectedPeers(); n != 0 {
+		t.Fatalf("nil Router.EjectedPeers = %d, want 0", n)
+	}
+}
+
+// TestRouterRingAgreement proves every replica computes the same owner
+// for every name regardless of which node is "self", and that ownership
+// is reasonably balanced.
+func TestRouterRingAgreement(t *testing.T) {
+	nodes := []string{"10.0.0.1:8461", "10.0.0.2:8461", "10.0.0.3:8461"}
+	routers := []*Router{
+		NewRouter(nodes[0], nodes[1:], 0, 0),
+		NewRouter(nodes[1], []string{nodes[0], nodes[2]}, 0, 0),
+		NewRouter(nodes[2], nodes[:2], 0, 0),
+	}
+	owned := map[string]int{}
+	const names = 3000
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("ruleset-%d", i)
+		owner := routers[0].OwnerOf(name)
+		for j, r := range routers[1:] {
+			if got := r.OwnerOf(name); got != owner {
+				t.Fatalf("replica %d owner of %q = %q, replica 0 says %q", j+1, name, got, owner)
+			}
+		}
+		owned[owner]++
+	}
+	for _, n := range nodes {
+		if owned[n] < names/10 {
+			t.Errorf("node %s owns %d of %d names: ring badly unbalanced", n, owned[n], names)
+		}
+	}
+}
+
+// TestRouterRouteTo pins the serve-locally cases: forwarded requests,
+// self-owned names, and ejected owners (which count a fallback).
+func TestRouterRouteTo(t *testing.T) {
+	nodes := []string{"a:1", "b:2"}
+	r := NewRouter(nodes[0], nodes[1:], 2, 50*time.Millisecond)
+	fallbacks := 0
+	r.onFallback = func() { fallbacks++ }
+
+	// Find one name per owner.
+	var mine, theirs string
+	for i := 0; mine == "" || theirs == ""; i++ {
+		name := fmt.Sprintf("rs-%d", i)
+		if r.OwnerOf(name) == nodes[0] {
+			mine = name
+		} else {
+			theirs = name
+		}
+	}
+
+	req, _ := http.NewRequest("POST", "/v1/automata/x/match", nil)
+	if _, route := r.routeTo(req, mine); route {
+		t.Error("routeTo forwarded a self-owned name")
+	}
+	addr, route := r.routeTo(req, theirs)
+	if !route || addr != nodes[1] {
+		t.Fatalf("routeTo(%q) = (%q, %v), want (%q, true)", theirs, addr, route, nodes[1])
+	}
+
+	// A request already forwarded once is always served locally.
+	fwd, _ := http.NewRequest("POST", "/v1/automata/x/match", nil)
+	fwd.Header.Set(forwardHeader, nodes[1])
+	if _, route := r.routeTo(fwd, theirs); route {
+		t.Error("routeTo forwarded an already-forwarded request: loop risk")
+	}
+
+	// Eject the peer: threshold consecutive failures.
+	r.report(nodes[1], false)
+	r.report(nodes[1], false)
+	if n := r.EjectedPeers(); n != 1 {
+		t.Fatalf("EjectedPeers after threshold failures = %d, want 1", n)
+	}
+	if _, route := r.routeTo(req, theirs); route {
+		t.Error("routeTo forwarded to an ejected peer")
+	}
+	if fallbacks != 1 {
+		t.Errorf("fallback callback fired %d times, want 1", fallbacks)
+	}
+
+	// The cooldown expires and the peer re-enters routing.
+	time.Sleep(70 * time.Millisecond)
+	if n := r.EjectedPeers(); n != 0 {
+		t.Fatalf("EjectedPeers after cooldown = %d, want 0", n)
+	}
+	if _, route := r.routeTo(req, theirs); !route {
+		t.Error("routeTo still local after the ejection cooldown expired")
+	}
+
+	// A success resets the failure streak.
+	r.report(nodes[1], false)
+	r.report(nodes[1], true)
+	r.report(nodes[1], false)
+	if n := r.EjectedPeers(); n != 0 {
+		t.Fatalf("non-consecutive failures ejected the peer (EjectedPeers = %d)", n)
+	}
+}
+
+// startCluster boots n papd replicas on real listeners wired as each
+// other's peers and returns their servers and advertised addresses.
+func startCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]*Server, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		cfg := Config{
+			Addr:          addrs[i],
+			AdvertiseAddr: addrs[i],
+			Peers:         peers,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s := New(cfg)
+		servers[i] = s
+		go s.Serve(lns[i])
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+	}
+	return servers, addrs
+}
+
+// nameOwnedBy finds a ruleset name the given replica owns on the ring.
+func nameOwnedBy(t *testing.T, r *Router, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("rs-%d", i)
+		if r.OwnerOf(name) == owner {
+			return name
+		}
+	}
+	t.Fatal("no name found for owner — ring broken")
+	return ""
+}
+
+// TestRouterForwardsMatchToOwner runs two real replicas and proves a
+// match sent to the non-owner executes on the owner: the owner's serving
+// counters move, the ingress replica's do not.
+func TestRouterForwardsMatchToOwner(t *testing.T) {
+	servers, addrs := startCluster(t, 2, nil)
+	name := nameOwnedBy(t, servers[0].router, addrs[1])
+
+	// Operators register on every replica (registration is not routed).
+	reg := []byte(fmt.Sprintf(`{"name": %q, "patterns": ["needle"]}`, name))
+	for _, a := range addrs {
+		if code, body := doJSON(t, "POST", "http://"+a+"/v1/automata", reg, nil); code != 201 {
+			t.Fatalf("register on %s = %d: %s", a, code, body)
+		}
+	}
+
+	var res struct {
+		Matches []struct{ End int64 } `json:"matches"`
+	}
+	url := "http://" + addrs[0] + "/v1/automata/" + name + "/match"
+	if code, body := doJSON(t, "POST", url, []byte("xx needle xx"), &res); code != 200 {
+		t.Fatalf("match via non-owner = %d: %s", code, body)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("forwarded match returned %d matches, want 1", len(res.Matches))
+	}
+
+	e0, _ := servers[0].Registry().Get(name)
+	e1, _ := servers[1].Registry().Get(name)
+	if got := e1.Requests.Load(); got != 1 {
+		t.Errorf("owner served %d requests, want 1", got)
+	}
+	if got := e0.Requests.Load(); got != 0 {
+		t.Errorf("ingress replica served %d requests locally, want 0 (should forward)", got)
+	}
+}
+
+// TestRouterStreamAffinity proves streaming sessions follow the ruleset
+// to its owner and that every later request for the session — from the
+// replica that never hosted it — forwards to where the session lives.
+func TestRouterStreamAffinity(t *testing.T) {
+	servers, addrs := startCluster(t, 2, nil)
+	name := nameOwnedBy(t, servers[0].router, addrs[1])
+
+	reg := []byte(fmt.Sprintf(`{"name": %q, "patterns": ["needle"]}`, name))
+	for _, a := range addrs {
+		if code, body := doJSON(t, "POST", "http://"+a+"/v1/automata", reg, nil); code != 201 {
+			t.Fatalf("register on %s = %d: %s", a, code, body)
+		}
+	}
+
+	// Open via the non-owner: the session must land on the owner.
+	var si SessionInfo
+	open := []byte(fmt.Sprintf(`{"automaton": %q}`, name))
+	if code, body := doJSON(t, "POST", "http://"+addrs[0]+"/v1/streams", open, &si); code != 201 {
+		t.Fatalf("open stream via non-owner = %d: %s", code, body)
+	}
+	if _, err := servers[1].sessions.Get(si.ID); err != nil {
+		t.Fatalf("session %s not on the owner replica: %v", si.ID, err)
+	}
+	if _, err := servers[0].sessions.Get(si.ID); err == nil {
+		t.Fatalf("session %s also exists on the ingress replica", si.ID)
+	}
+
+	// Write through the non-owner; the match must come back.
+	var wr struct {
+		Matches []struct{ End int64 } `json:"matches"`
+		Offset  int64                 `json:"offset"`
+	}
+	wurl := "http://" + addrs[0] + "/v1/streams/" + si.ID + "/write"
+	if code, body := doJSON(t, "POST", wurl, []byte("xx needle"), &wr); code != 200 {
+		t.Fatalf("forwarded stream write = %d: %s", code, body)
+	}
+	if len(wr.Matches) != 1 || wr.Offset != 9 {
+		t.Fatalf("forwarded write = %d matches at offset %d, want 1 at 9", len(wr.Matches), wr.Offset)
+	}
+
+	// Info and close also follow the session.
+	var got SessionInfo
+	if code, body := doJSON(t, "GET", "http://"+addrs[0]+"/v1/streams/"+si.ID, nil, &got); code != 200 {
+		t.Fatalf("forwarded stream get = %d: %s", code, body)
+	}
+	if got.Writes != 1 {
+		t.Fatalf("forwarded info writes = %d, want 1", got.Writes)
+	}
+	if code, _ := doJSON(t, "DELETE", "http://"+addrs[0]+"/v1/streams/"+si.ID, nil, nil); code != 204 {
+		t.Fatalf("forwarded close = %d, want 204", code)
+	}
+	if _, ok := servers[0].router.SessionOwner(si.ID); ok {
+		t.Error("session routing entry survived the close")
+	}
+	if _, err := servers[1].sessions.Get(si.ID); err == nil {
+		t.Error("session survived forwarded close on the owner")
+	}
+}
+
+// TestRouterFallbackWhenOwnerDown proves a replica keeps serving a
+// ruleset locally when its owner is unreachable, and ejects the dead
+// peer after the failure threshold.
+func TestRouterFallbackWhenOwnerDown(t *testing.T) {
+	// One real replica plus one dead peer address (a listener we open to
+	// reserve the port, then close).
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := deadLn.Addr().String()
+	deadLn.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := ln.Addr().String()
+	s := New(Config{
+		Addr: self, AdvertiseAddr: self, Peers: []string{dead},
+		PeerFailThreshold: 2, PeerCooldown: time.Minute,
+	})
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	name := nameOwnedBy(t, s.router, dead)
+	reg := []byte(fmt.Sprintf(`{"name": %q, "patterns": ["needle"]}`, name))
+	if code, body := doJSON(t, "POST", "http://"+self+"/v1/automata", reg, nil); code != 201 {
+		t.Fatalf("register = %d: %s", code, body)
+	}
+
+	url := "http://" + self + "/v1/automata/" + name + "/match"
+	for i := 0; i < 3; i++ {
+		var res struct {
+			Matches []json.RawMessage `json:"matches"`
+		}
+		if code, body := doJSON(t, "POST", url, []byte("xx needle xx"), &res); code != 200 {
+			t.Fatalf("match %d with dead owner = %d: %s", i, code, body)
+		}
+		if len(res.Matches) != 1 {
+			t.Fatalf("match %d: %d matches, want 1 (local fallback)", i, len(res.Matches))
+		}
+	}
+	if n := s.router.EjectedPeers(); n != 1 {
+		t.Errorf("EjectedPeers = %d, want 1 after repeated forward failures", n)
+	}
+	e, _ := s.Registry().Get(name)
+	if got := e.Requests.Load(); got != 3 {
+		t.Errorf("local fallback served %d requests, want 3", got)
+	}
+}

@@ -64,6 +64,43 @@ type Config struct {
 	// pap.ExecSFA per call). Matches are identical across strategies;
 	// modelled stats differ.
 	DefaultExecMode pap.ExecMode
+
+	// Peers lists the advertised addresses of the other replicas in a
+	// sharded deployment; empty disables the shard router. Each ruleset
+	// name is owned by one replica on a consistent-hash ring over
+	// AdvertiseAddr+Peers, and requests for rulesets owned elsewhere are
+	// forwarded there (with local fallback when the owner is down).
+	Peers []string
+	// AdvertiseAddr is this replica's own address as its peers reach it
+	// (default Addr). It must appear in every peer's ring under exactly
+	// this spelling for the replicas to agree on ownership.
+	AdvertiseAddr string
+	// PeerFailThreshold ejects a peer from routing after this many
+	// consecutive forward failures (default 3).
+	PeerFailThreshold int
+	// PeerCooldown is how long an ejected peer stays out of routing
+	// before being retried (default 10s).
+	PeerCooldown time.Duration
+
+	// BatchWindow coalesces small sequential match requests sharing a
+	// ruleset version and engine into single worker-pool tasks: requests
+	// arriving within the window are served by one task and demuxed.
+	// 0 disables coalescing.
+	BatchWindow time.Duration
+	// BatchMaxSize flushes a batch early when it reaches this many
+	// requests (default 64).
+	BatchMaxSize int
+	// BatchMaxBytes is the largest payload eligible for coalescing
+	// (default 4096); larger payloads always dispatch alone.
+	BatchMaxBytes int
+
+	// TenantRPS grants each tenant (X-API-Key header, or "anonymous")
+	// this many match/stream-write requests per second on the worker
+	// pool, answering 429 with Retry-After beyond it. 0 disables quotas.
+	TenantRPS float64
+	// TenantBurst is the per-tenant burst allowance (default
+	// max(TenantRPS, 1)).
+	TenantBurst float64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,21 +124,33 @@ func (c Config) withDefaults() Config {
 	} else if c.StreamIdleTimeout < 0 {
 		c.StreamIdleTimeout = 0 // disabled
 	}
+	if c.AdvertiseAddr == "" {
+		c.AdvertiseAddr = c.Addr
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 64
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 4096
+	}
 	return c
 }
 
 // Server is one papd instance. Create with New, serve with ListenAndServe
 // (or mount Handler on your own listener), stop with Shutdown.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	pool     *Pool
-	sessions *SessionManager
-	metrics  *Metrics
-	mux      *http.ServeMux
-	httpSrv  *http.Server
-	ready    atomic.Bool
-	started  time.Time
+	cfg       Config
+	reg       *Registry
+	pool      *Pool
+	sessions  *SessionManager
+	metrics   *Metrics
+	router    *Router    // nil unless Peers configured
+	coalescer *Coalescer // nil unless BatchWindow > 0
+	quotas    *Quotas    // nil unless TenantRPS > 0
+	mux       *http.ServeMux
+	httpSrv   *http.Server
+	ready     atomic.Bool
+	started   time.Time
 
 	// Pre-created instruments on hot paths.
 	latency          map[string]*Histogram
@@ -129,10 +178,13 @@ func New(cfg Config) *Server {
 		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
 		sessions: NewSessionManager(cfg.MaxStreams, cfg.StreamIdleTimeout),
 		metrics:  NewMetrics(),
+		router:   NewRouter(cfg.AdvertiseAddr, cfg.Peers, cfg.PeerFailThreshold, cfg.PeerCooldown),
+		quotas:   NewQuotas(cfg.TenantRPS, cfg.TenantBurst),
 		mux:      http.NewServeMux(),
 		latency:  make(map[string]*Histogram),
 		started:  time.Now(),
 	}
+	s.coalescer = NewCoalescer(s.pool, cfg.BatchWindow, cfg.BatchMaxSize, cfg.MatchTimeout)
 
 	m := s.metrics
 	s.poolRejected = m.Counter("papd_worker_pool_rejected_total",
@@ -195,6 +247,56 @@ func New(cfg Config) *Server {
 		})
 	s.sessions.SetExpiredCounter(m.Counter("papd_streams_expired_total",
 		"Streaming sessions expired for idleness.", ""))
+	m.GaugeFunc("papd_worker_pool_abandoned",
+		"Cumulative tasks abandoned while queued; abandoned tasks never run.", "",
+		func() float64 { return float64(s.pool.Abandoned()) })
+
+	// Every installed ruleset version (registration or hot reload) gets a
+	// papd_ruleset_version gauge; it reads the live registry, so a delete
+	// shows 0 and a reload shows the bumped version immediately.
+	s.reg.SetInstallHook(func(e *Entry) {
+		name := e.Name
+		m.GaugeFunc("papd_ruleset_version",
+			"Currently served version of each registered ruleset (0 = deleted).",
+			fmt.Sprintf("automaton=%q", EscapeLabelValue(name)),
+			func() float64 { return float64(s.reg.Version(name)) })
+	})
+
+	if s.coalescer != nil {
+		s.coalescer.batchesTotal = m.Counter("papd_batches_total",
+			"Coalesced match batches flushed to the worker pool.", "")
+		s.coalescer.requestsTotal = m.Counter("papd_batched_requests_total",
+			"Match requests served through coalesced batches.", "")
+		s.coalescer.sizeHist = m.Histogram("papd_batch_size",
+			"Requests per coalesced batch.", "",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	}
+
+	if s.router != nil {
+		fallback := m.Counter("papd_router_local_fallback_total",
+			"Requests served locally because their owning replica was ejected.", "")
+		s.router.onForward = func(peer string, ok bool) {
+			name := "papd_router_forwarded_total"
+			help := "Requests forwarded to their owning replica, by peer."
+			if !ok {
+				name = "papd_router_forward_errors_total"
+				help = "Forwards that failed in transport, by peer."
+			}
+			m.Counter(name, help, fmt.Sprintf("peer=%q", EscapeLabelValue(peer))).Inc()
+		}
+		s.router.onFallback = func() { fallback.Inc() }
+		s.router.onEject = func(peer string) {
+			m.Counter("papd_router_peer_ejections_total",
+				"Peers ejected from routing after consecutive forward failures.",
+				fmt.Sprintf("peer=%q", EscapeLabelValue(peer))).Inc()
+		}
+		m.GaugeFunc("papd_router_peers_ejected",
+			"Peers currently ejected from routing.", "",
+			func() float64 { return float64(s.router.EjectedPeers()) })
+		m.GaugeFunc("papd_router_peers",
+			"Peer replicas in the shard ring (excluding self).", "",
+			func() float64 { return float64(len(s.cfg.Peers)) })
+	}
 
 	s.routes()
 	s.ready.Store(true)

@@ -96,9 +96,13 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("registered automaton = %+v", auto)
 	}
 
-	// Duplicate registration conflicts.
-	if code, _ := doJSON(t, "POST", ts.URL+"/v1/automata", reg, nil); code != 409 {
-		t.Fatalf("duplicate register = %d, want 409", code)
+	// Re-registering an existing name is a hot reload: 200, version 2.
+	var reloaded automatonJSON
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/automata", reg, &reloaded); code != 200 {
+		t.Fatalf("reload register = %d %q, want 200", code, body)
+	}
+	if auto.Version != 1 || reloaded.Version != 2 {
+		t.Fatalf("versions = %d then %d, want 1 then 2", auto.Version, reloaded.Version)
 	}
 
 	// List.

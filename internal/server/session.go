@@ -16,11 +16,13 @@ import (
 // registered automaton, fed by successive write requests with offsets
 // global across all chunks — one modelled AP flow over an unbounded
 // symbol sequence. Sessions survive deletion of their automaton from the
-// registry (the compiled automaton is immutable); they die on explicit
-// close, server shutdown, or idle expiry.
+// registry and hot reloads that replace it (the compiled automaton is
+// immutable, and the session stays pinned to the version it was opened
+// against); they die on explicit close, server shutdown, or idle expiry.
 type Session struct {
 	ID        string
 	Automaton string
+	Version   int // registry version the session is pinned to
 	Engine    pap.EngineKind
 	Created   time.Time
 
@@ -74,6 +76,7 @@ var ErrTooManySessions = errors.New("server: stream session limit reached")
 type SessionInfo struct {
 	ID             string    `json:"id"`
 	Automaton      string    `json:"automaton"`
+	RulesetVersion int       `json:"ruleset_version"`
 	Engine         string    `json:"engine"`
 	Created        time.Time `json:"created"`
 	LastUsed       time.Time `json:"last_used"`
@@ -82,16 +85,40 @@ type SessionInfo struct {
 	Matches        int64     `json:"matches"`
 	ActiveStates   int       `json:"active_states"`
 	EngineSwitches int64     `json:"engine_switches"`
+
+	// The backend counters below are pointers so that omission means
+	// exactly "this engine doesn't support the counter": a session on a
+	// supporting engine always carries the field, including a legitimate
+	// zero, where `omitempty` on a plain integer used to erase it.
+
 	// PrefilterSkipped counts input bytes the stream's prefilter proved
 	// inert and never stepped (EngineMeta only).
-	PrefilterSkipped int64 `json:"prefilter_skipped,omitempty"`
+	PrefilterSkipped *int64 `json:"prefilter_skipped,omitempty"`
 	// BaselineSkipped counts input bytes the backend's exact baseline-skip
-	// fast path scanned past instead of stepping.
-	BaselineSkipped int64 `json:"baseline_skipped,omitempty"`
-	// CacheHits/CacheMisses are lazy-DFA state-cache counters
-	// (EngineLazyDFA and EngineMeta only).
-	CacheHits   int64 `json:"cache_hits,omitempty"`
-	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// fast path scanned past instead of stepping (every engine except the
+	// pure sparse frontier list).
+	BaselineSkipped *int64 `json:"baseline_skipped,omitempty"`
+	// CacheHits/CacheMisses/CacheEvictions are lazy-DFA state-cache
+	// counters (EngineLazyDFA and EngineMeta only).
+	CacheHits      *int64 `json:"cache_hits,omitempty"`
+	CacheMisses    *int64 `json:"cache_misses,omitempty"`
+	CacheEvictions *int64 `json:"cache_evictions,omitempty"`
+}
+
+// supportsPrefilter reports whether the engine runs a literal/class
+// prefilter (see docs/ENGINES.md).
+func supportsPrefilter(k pap.EngineKind) bool { return k == pap.EngineMeta }
+
+// supportsBaselineSkip reports whether the engine has the exact
+// baseline-skip fast path: every backend except the pure sparse frontier
+// list (bit natively, adaptive and lazydfa/meta through their inner
+// engines).
+func supportsBaselineSkip(k pap.EngineKind) bool { return k != pap.EngineSparse }
+
+// supportsLazyCache reports whether the engine keeps a lazy-DFA state
+// cache.
+func supportsLazyCache(k pap.EngineKind) bool {
+	return k == pap.EngineLazyDFA || k == pap.EngineMeta
 }
 
 // Write feeds one chunk to the session's stream and returns a copy of the
@@ -142,28 +169,39 @@ func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	info := s.stream.EngineInfo()
-	return SessionInfo{
-		ID:               s.ID,
-		Automaton:        s.Automaton,
-		Engine:           s.Engine.String(),
-		Created:          s.Created,
-		LastUsed:         s.lastUsed,
-		Offset:           s.stream.Offset(),
-		Writes:           s.writes,
-		Matches:          s.matches,
-		ActiveStates:     s.stream.ActiveStates(),
-		EngineSwitches:   s.stream.EngineSwitches(),
-		PrefilterSkipped: info.PrefilterSkippedBytes,
-		BaselineSkipped:  info.BaselineSkippedBytes,
-		CacheHits:        info.CacheHits,
-		CacheMisses:      info.CacheMisses,
+	si := SessionInfo{
+		ID:             s.ID,
+		Automaton:      s.Automaton,
+		RulesetVersion: s.Version,
+		Engine:         s.Engine.String(),
+		Created:        s.Created,
+		LastUsed:       s.lastUsed,
+		Offset:         s.stream.Offset(),
+		Writes:         s.writes,
+		Matches:        s.matches,
+		ActiveStates:   s.stream.ActiveStates(),
+		EngineSwitches: s.stream.EngineSwitches(),
 	}
+	if supportsPrefilter(s.Engine) {
+		v := info.PrefilterSkippedBytes
+		si.PrefilterSkipped = &v
+	}
+	if supportsBaselineSkip(s.Engine) {
+		v := info.BaselineSkippedBytes
+		si.BaselineSkipped = &v
+	}
+	if supportsLazyCache(s.Engine) {
+		h, m, e := info.CacheHits, info.CacheMisses, info.CacheEvictions
+		si.CacheHits, si.CacheMisses, si.CacheEvictions = &h, &m, &e
+	}
+	return si
 }
 
 // SessionManager tracks live sessions and expires idle ones.
 type SessionManager struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
+	reserved int // Create slots claimed but not yet installed
 	max      int
 	idle     time.Duration
 	stop     chan struct{}
@@ -198,51 +236,99 @@ func (m *SessionManager) reap() {
 		case <-m.stop:
 			return
 		case <-tick.C:
-			cutoff := time.Now().Add(-m.idle)
-			m.mu.Lock()
-			for id, s := range m.sessions {
-				s.mu.Lock()
-				idleTooLong := s.lastUsed.Before(cutoff)
-				if idleTooLong {
-					s.closed = true
-				}
-				s.mu.Unlock()
-				if idleTooLong {
-					delete(m.sessions, id)
-					if m.expired != nil {
-						m.expired.Inc()
-					}
-				}
-			}
-			m.mu.Unlock()
+			m.reapOnce(time.Now().Add(-m.idle))
 		}
 	}
 }
 
+// reapOnce expires every session idle since before cutoff, in three
+// phases so the manager lock is never held while a session lock is
+// acquired: Session.WriteContext holds s.mu for the full duration of a
+// write, so the old single-phase reap (s.mu acquired under m.mu) let one
+// slow streaming write stall every Get/Create/List server-wide — the
+// head-of-line block TestReapDoesNotBlockManager pins. Phase 1 snapshots
+// the session pointers under m.mu; phase 2 closes idle ones under each
+// s.mu only (re-checking liveness there, so a write that lands between
+// the phases refreshes lastUsed and survives); phase 3 deletes the
+// closed ones under m.mu, re-checking identity before each delete.
+func (m *SessionManager) reapOnce(cutoff time.Time) {
+	m.mu.Lock()
+	candidates := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		candidates = append(candidates, s)
+	}
+	m.mu.Unlock()
+
+	var expired []*Session
+	for _, s := range candidates {
+		s.mu.Lock()
+		idleTooLong := !s.closed && s.lastUsed.Before(cutoff)
+		if idleTooLong {
+			s.closed = true
+		}
+		s.mu.Unlock()
+		if idleTooLong {
+			expired = append(expired, s)
+		}
+	}
+
+	if len(expired) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, s := range expired {
+		if m.sessions[s.ID] == s {
+			delete(m.sessions, s.ID)
+			if m.expired != nil {
+				m.expired.Inc()
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// streamBuildHook, when non-nil, observes every stream build Create pays
+// for. Tests use it to prove a Create rejected at the session limit
+// never builds a stream.
+var streamBuildHook func()
+
 // Create opens a session over the given registry entry, streaming on the
-// given execution backend.
+// given execution backend. The slot is reserved under the lock before
+// the stream is built, so a Create doomed to ErrTooManySessions fails
+// before paying the stream construction, and concurrent Creates racing
+// for the last slots can never overshoot the limit.
 func (m *SessionManager) Create(e *Entry, eng pap.EngineKind) (*Session, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	if len(m.sessions)+m.reserved >= m.max {
+		m.mu.Unlock()
+		return nil, ErrTooManySessions
+	}
+	m.reserved++
+	m.mu.Unlock()
+
 	// Both timestamps are kept in UTC so SessionInfo JSON exposes created
 	// and last_used in the same zone.
 	now := time.Now().UTC()
+	if streamBuildHook != nil {
+		streamBuildHook()
+	}
 	s := &Session{
 		ID:        id,
 		Automaton: e.Name,
+		Version:   e.Version,
 		Engine:    eng,
 		Created:   now,
 		stream:    e.Automaton.NewStream(pap.WithEngine(eng)),
 		lastUsed:  now,
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.sessions) >= m.max {
-		return nil, ErrTooManySessions
-	}
+	m.reserved--
 	m.sessions[id] = s
+	m.mu.Unlock()
 	return s, nil
 }
 
