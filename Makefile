@@ -25,14 +25,15 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz passes over the fuzz targets (engine agreement,
-# regex-vs-stdlib, end-to-end PAP equivalence, and flow-vs-SFA mode
-# equivalence).
+# regex-vs-stdlib, end-to-end PAP equivalence, flow-vs-SFA mode
+# equivalence, and scored-path-vs-oracle equivalence).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzBaselineSkip -fuzztime 30s ./internal/engine/
 	$(GO) test -run xxx -fuzz FuzzCompileAgainstStdlib -fuzztime 30s ./internal/regex/
 	$(GO) test -run xxx -fuzz FuzzParallelEquivalence -fuzztime 30s ./internal/core/
 	$(GO) test -run xxx -fuzz FuzzSFAEquivalence -fuzztime 30s ./internal/core/
+	$(GO) test -run xxx -fuzz FuzzScoredEquivalence -fuzztime 30s ./internal/conformance/
 
 # Differential conformance sweep against the reference oracle (see
 # docs/TESTING.md); `go test ./internal/conformance` runs a smaller one.

@@ -92,6 +92,24 @@ func (b *Builder) Connect(from, to StateRef) {
 	b.b.AddEdge(nfa.StateID(from), nfa.StateID(to))
 }
 
+// ConnectScored adds a scored transition: like Connect, but the edge
+// carries a score that contributes to Match.Score under max-plus
+// semantics — a path's score is the sum of its edge scores, a match's
+// score the maximum over paths reaching its reporting state. Scores may
+// be negative (penalties). Connect and ConnectScored mix freely: plain
+// edges score 0. Duplicate edges keep the maximum score.
+func (b *Builder) ConnectScored(from, to StateRef, score int32) {
+	if b.err != nil {
+		return
+	}
+	n := StateRef(b.b.Len())
+	if from < 0 || to < 0 || from >= n || to >= n {
+		b.err = fmt.Errorf("pap: ConnectScored(%d, %d) out of range (%d states)", from, to, n)
+		return
+	}
+	b.b.AddScoredEdge(nfa.StateID(from), nfa.StateID(to), score)
+}
+
 // Build finalizes the automaton.
 func (b *Builder) Build() (*Automaton, error) {
 	if b.err != nil {

@@ -8,6 +8,7 @@
 //	paprun -rules rules.txt -input data.bin -parallel -ranks 4
 //	paprun -rules rules.txt -input data.bin -engine bit  # force a backend
 //	paprun -rules rules.txt -input data.bin -parallel -mode sfa
+//	paprun -rules rules.txt -input data.bin -scored      # per-match scores
 //	echo 'GET /admin' | paprun -rules rules.txt -parallel
 //
 // The rules file contains one pattern per line; blank lines and lines
@@ -40,6 +41,8 @@ func main() {
 			"execution backend: "+strings.Join(pap.EngineKindNames(), ", "))
 		modeName = flag.String("mode", "flows",
 			"parallel execution mode: "+strings.Join(pap.ExecModeNames(), ", "))
+		scored = flag.Bool("scored", false,
+			"track per-transition max-plus scores and report each match's score plus the best")
 	)
 	flag.Parse()
 
@@ -53,13 +56,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paprun:", err)
 		os.Exit(1)
 	}
-	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint, engine, mode); err != nil {
+	if err := run(*rulesPath, *anmlPath, *mnrlPath, *inputPath, *parallel, *ranks, *compress, *quiet, *maxPrint, engine, mode, *scored); err != nil {
 		fmt.Fprintln(os.Stderr, "paprun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int, engine pap.EngineKind, mode pap.ExecMode) error {
+func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks int, compress, quiet bool, maxPrint int, engine pap.EngineKind, mode pap.ExecMode, scored bool) error {
 	var a *pap.Automaton
 	sources := 0
 	for _, p := range []string{rulesPath, anmlPath, mnrlPath} {
@@ -108,11 +111,13 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 	}
 	fmt.Printf("input: %d bytes\n", len(input))
 
+	scored = scored || a.Scored()
 	var matches []pap.Match
 	if parallel {
 		cfg := pap.DefaultConfig(ranks)
 		cfg.Engine = engine
 		cfg.Mode = mode
+		cfg.Scoring = scored
 		rep, err := a.MatchParallel(input, cfg)
 		if err != nil {
 			return err
@@ -129,11 +134,22 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 			fmt.Printf("sfa: %d mapping classes, %d compose ops, %d fingerprint collisions\n",
 				s.SFAMappings, s.SFAComposeOps, s.FingerprintCollisions)
 		}
+	} else if scored {
+		// A scored sequential run through the stream API: scores carry in
+		// the engine, so one whole-input Write equals chunked writes.
+		st := a.NewStream(pap.WithEngine(engine), pap.WithScoring())
+		matches = append(matches, st.Write(input)...)
 	} else {
 		matches = a.MatchWith(input, engine)
 	}
 
 	fmt.Printf("%d matches\n", len(matches))
+	if scored {
+		best, ok := bestScore(matches)
+		if ok {
+			fmt.Printf("best score: %d\n", best)
+		}
+	}
 	if quiet {
 		return nil
 	}
@@ -142,9 +158,24 @@ func run(rulesPath, anmlPath, mnrlPath, inputPath string, parallel bool, ranks i
 			fmt.Printf("... and %d more\n", len(matches)-maxPrint)
 			break
 		}
-		fmt.Printf("  rule %d at offset %d\n", m.Code, m.Offset)
+		if scored {
+			fmt.Printf("  rule %d at offset %d score %d\n", m.Code, m.Offset, m.Score)
+		} else {
+			fmt.Printf("  rule %d at offset %d\n", m.Code, m.Offset)
+		}
 	}
 	return nil
+}
+
+// bestScore returns the maximum match score; ok is false with no matches
+// (scores may be negative, so 0 is not a sentinel).
+func bestScore(ms []pap.Match) (best int64, ok bool) {
+	for _, m := range ms {
+		if !ok || m.Score > best {
+			best, ok = m.Score, true
+		}
+	}
+	return best, ok
 }
 
 func loadANML(path string) (*pap.Automaton, error) {

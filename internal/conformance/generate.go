@@ -21,7 +21,15 @@ type StateSpec struct {
 type NFASpec struct {
 	States []StateSpec
 	Edges  [][2]int32 // from, to
+	// Weights holds per-edge score annotations parallel to Edges. Empty
+	// means an unscored automaton; non-empty means every edge is added with
+	// nfa.AddScoredEdge (zero weights included, so all-zero scored specs
+	// exercise the scored paths without changing any score).
+	Weights []int32
 }
+
+// scored reports whether the spec builds a scored automaton.
+func (s *NFASpec) scored() bool { return len(s.Weights) > 0 }
 
 // Build constructs the NFA, or returns an error for degenerate specs (no
 // states, no start states) — the shrinker treats those as "not failing".
@@ -38,11 +46,18 @@ func (s *NFASpec) Build() (*nfa.NFA, error) {
 			b.SetReportCode(id, st.Code)
 		}
 	}
-	for _, e := range s.Edges {
+	if s.scored() && len(s.Weights) != len(s.Edges) {
+		return nil, fmt.Errorf("conformance: %d weights for %d edges", len(s.Weights), len(s.Edges))
+	}
+	for i, e := range s.Edges {
 		if e[0] < 0 || int(e[0]) >= len(s.States) || e[1] < 0 || int(e[1]) >= len(s.States) {
 			return nil, fmt.Errorf("conformance: edge %v out of range", e)
 		}
-		b.AddEdge(nfa.StateID(e[0]), nfa.StateID(e[1]))
+		if s.scored() {
+			b.AddScoredEdge(nfa.StateID(e[0]), nfa.StateID(e[1]), s.Weights[i])
+		} else {
+			b.AddEdge(nfa.StateID(e[0]), nfa.StateID(e[1]))
+		}
 	}
 	return b.Build()
 }
@@ -68,8 +83,12 @@ func (s *NFASpec) String() string {
 	if len(s.Edges) == 0 {
 		b.WriteString(" none")
 	}
-	for _, e := range s.Edges {
-		fmt.Fprintf(&b, " %d>%d", e[0], e[1])
+	for i, e := range s.Edges {
+		if s.scored() {
+			fmt.Fprintf(&b, " %d>%d%+d", e[0], e[1], s.Weights[i])
+		} else {
+			fmt.Fprintf(&b, " %d>%d", e[0], e[1])
+		}
 	}
 	return b.String()
 }
@@ -84,6 +103,9 @@ func (s *NFASpec) clone() *NFASpec {
 		out.States[i] = StateSpec{Syms: append([]byte(nil), st.Syms...), Flags: st.Flags, Code: st.Code}
 	}
 	copy(out.Edges, s.Edges)
+	if s.scored() {
+		out.Weights = append([]int32(nil), s.Weights...)
+	}
 	return out
 }
 
@@ -173,6 +195,15 @@ func RandomSpec(rng *rand.Rand) *NFASpec {
 		}
 		if !hasStart {
 			spec.States[0].Flags |= nfa.StartOfData
+		}
+	}
+	// A third of the specs are scored: per-edge weights from a deliberately
+	// tiny range, so negatives, zeros and score ties between competing paths
+	// all occur constantly (ties are where a wrong max-merge hides).
+	if len(spec.Edges) > 0 && rng.Intn(3) == 0 {
+		spec.Weights = make([]int32, len(spec.Edges))
+		for i := range spec.Weights {
+			spec.Weights[i] = int32(rng.Intn(8) - 3) // [-3, 4]
 		}
 	}
 	return spec

@@ -79,6 +79,9 @@ func CheckCase(c *Case) (invariant, detail string) {
 	if inv, d := checkCancellation(c, oracle, sub); inv != "" {
 		return inv, d
 	}
+	if inv, d := checkScored(c, sub); inv != "" {
+		return inv, d
+	}
 	return "", ""
 }
 
@@ -565,6 +568,171 @@ func checkCancellation(c *Case, oracle []engine.Report, rng *rand.Rand) (string,
 	return "", ""
 }
 
+// checkScored is the scored-match invariant: with score tracking on, every
+// execution path must reproduce the scored oracle's report set score for
+// score and agree on the best score — sequential runs on all five engine
+// kinds (lazy DFA and meta fall back to the adaptive scorer), the
+// baseline-skip ablation, chunked streaming exactly as Stream.Write chunks,
+// boundary-recording runs whose recorded frontier scores must equal the
+// oracle's at every cut, boundary-re-seeded segment resume, and the full
+// PAP parallelization under both schedulers, both execution modes and
+// speculation. Roughly a third of generated specs carry edge weights
+// (negative, zero and tied); on the unscored rest the scored paths must
+// still run and produce all-zero scores — the all-zero ≡ unscored
+// degenerate case, checked here on every single case.
+func checkScored(c *Case, rng *rand.Rand) (string, string) {
+	oracle := OracleRunScored(c.NFA, c.Input)
+	oracleBest, hasReports := engine.BestReportScore(oracle)
+	tab := engine.NewTables(c.NFA)
+
+	// Sequential scored runs on every backend.
+	for _, kind := range engineKinds {
+		res := engine.RunEngineOpts(c.NFA, c.Input, kind, tab, engine.RunOpts{Scored: true})
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return "scored-match/" + kind.String(), d
+		}
+		if hasReports && res.BestScore != oracleBest {
+			return "scored-match/" + kind.String(),
+				fmt.Sprintf("best score %d, oracle %d", res.BestScore, oracleBest)
+		}
+	}
+
+	// The baseline-skip fast path must stay invisible under scoring (a
+	// skipped symbol fires nothing, so no score can change).
+	ablKind := engineKinds[rng.Intn(len(engineKinds))]
+	abl := engine.RunEngineOpts(c.NFA, c.Input, ablKind, tab,
+		engine.RunOpts{Scored: true, DisableBaselineSkip: true})
+	if d := diffReports(oracle, abl.Reports); d != "" {
+		return "scored-skip-ablation/" + ablKind.String(), d
+	}
+
+	// Chunked streaming with scoring on, per-chunk dedup exactly as
+	// Stream.Write performs it: scores must carry across chunk straddles.
+	for _, kind := range engineKinds {
+		e := engine.New(engine.ScoringKind(kind), c.NFA, tab)
+		engine.SetScoring(e, true)
+		var all, chunk []engine.Report
+		emit := func(r engine.Report) { chunk = append(chunk, r) }
+		pos := 0
+		for pos < len(c.Input) {
+			n := 1 + rng.Intn(32)
+			if pos+n > len(c.Input) {
+				n = len(c.Input) - pos
+			}
+			chunk = chunk[:0]
+			for _, sym := range c.Input[pos : pos+n] {
+				e.Step(sym, int64(pos), emit)
+				pos++
+			}
+			all = append(all, engine.DedupeReports(chunk)...)
+		}
+		if d := diffReports(oracle, all); d != "" {
+			return "scored-stream-chunks/" + kind.String(), d
+		}
+	}
+
+	// Scored boundary recording + segment resume, rotating backends with the
+	// segment count: each recorded boundary's frontier scores must equal the
+	// oracle's at that cut, and re-seeding each segment from the previous
+	// boundary's (enabled, scores) pair must reproduce the oracle exactly.
+	for ki, k := range segmentCounts {
+		kind := engineKinds[ki%len(engineKinds)]
+		cuts := cutsFor(len(c.Input), k)
+		name := fmt.Sprintf("scored-boundaries-k%d/%s", k, kind)
+		res, bounds, _, err := engine.RunWithBoundariesEngineContext(
+			context.Background(), c.NFA, c.Input, cuts, kind, tab, 0, engine.RunOpts{Scored: true})
+		if err != nil {
+			return name, fmt.Sprintf("boundary run: %v", err)
+		}
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return name, d
+		}
+		_, fronts, fscores := OracleRunScoredCuts(c.NFA, c.Input, cuts)
+		for i, b := range bounds {
+			if !equalIDs(fronts[i], b.Enabled) {
+				return name, fmt.Sprintf("boundary %d (pos %d): enabled %v, oracle %v",
+					i, b.Pos, b.Enabled, fronts[i])
+			}
+			for j, q := range b.Enabled {
+				if b.Scores[j] != fscores[i][j] {
+					return name, fmt.Sprintf("boundary %d (pos %d) state %d: score %d, oracle %d",
+						i, b.Pos, q, b.Scores[j], fscores[i][j])
+				}
+			}
+		}
+		var union []engine.Report
+		emit := func(r engine.Report) { union = append(union, r) }
+		for i := 0; i <= len(cuts); i++ {
+			start, end := 0, len(c.Input)
+			if i > 0 {
+				start = cuts[i-1]
+			}
+			if i < len(cuts) {
+				end = cuts[i]
+			}
+			e := engine.New(engine.ScoringKind(kind), c.NFA, tab)
+			engine.SetScoring(e, true)
+			if i > 0 {
+				engine.ResetScoredOf(e, bounds[i-1].Enabled, bounds[i-1].Scores)
+			}
+			for p := start; p < end; p++ {
+				e.Step(c.Input[p], int64(p), emit)
+			}
+		}
+		if d := diffReports(oracle, union); d != "" {
+			return fmt.Sprintf("scored-segment-resume-k%d/%s", k, kind), d
+		}
+	}
+
+	// Full PAP parallelization: both schedulers × both execution modes, plus
+	// a speculative flow-mode run. CheckCorrect covers score exactness too
+	// (SameReports compares scores), so Correct doubles as the internal
+	// golden-vs-composed scored agreement.
+	if len(c.Input) < 8 {
+		return "", "" // too short to partition meaningfully
+	}
+	base := parallelConfig(rng, false)
+	base.Scored = true
+	type coreCase struct {
+		name string
+		cfg  core.Config
+	}
+	var cases []coreCase
+	for _, mode := range []core.Mode{core.ModeFlows, core.ModeSFA} {
+		for _, par := range []bool{false, true} {
+			cfg := base
+			cfg.Mode = mode
+			cfg.SegmentParallel = par
+			name := fmt.Sprintf("scored-parallel/%v-serial", mode)
+			if par {
+				name = fmt.Sprintf("scored-parallel/%v-parallel", mode)
+			}
+			cases = append(cases, coreCase{name, cfg})
+		}
+	}
+	spec := base
+	spec.Mode = core.ModeFlows
+	spec.Speculate = true
+	cases = append(cases, coreCase{"scored-parallel/speculative", spec})
+	for _, tc := range cases {
+		res, err := core.Run(c.NFA, c.Input, tc.cfg)
+		if err != nil {
+			return tc.name, fmt.Sprintf("core.Run: %v (cfg %+v)", err, tc.cfg)
+		}
+		if err := res.CheckCorrect(); err != nil {
+			return tc.name, fmt.Sprintf("%v (cfg %+v)", err, tc.cfg)
+		}
+		if d := diffReports(oracle, res.Reports); d != "" {
+			return tc.name, d + fmt.Sprintf(" (cfg %+v)", tc.cfg)
+		}
+		if hasReports && res.BestScore != oracleBest {
+			return tc.name, fmt.Sprintf("best score %d, oracle %d (cfg %+v)",
+				res.BestScore, oracleBest, tc.cfg)
+		}
+	}
+	return "", ""
+}
+
 // diffResultMetrics compares every modelled metric of a serial and a
 // parallel result, EngineSwitches excepted, returning "" when bit-identical.
 func diffResultMetrics(a, b *core.Result) string {
@@ -645,7 +813,10 @@ func parallelConfig(rng *rand.Rand, toggled bool) core.Config {
 }
 
 // diffReports returns "" when got (after dedup) equals the canonical want
-// set, else a compact description of the first divergence.
+// set, else a compact description of the first divergence. Scores are part
+// of the comparison: unscored paths are checked against a score-stripped
+// oracle set and carry all-zero scores themselves, so for them this reduces
+// to (offset, state, code) equality; for scored paths it is score-for-score.
 func diffReports(want, got []engine.Report) string {
 	g := engine.DedupeReports(append([]engine.Report(nil), got...))
 	for i := 0; i < len(want) || i < len(g); i++ {
@@ -659,6 +830,9 @@ func diffReports(want, got []engine.Report) string {
 		case want[i].Offset != g[i].Offset || want[i].State != g[i].State || want[i].Code != g[i].Code:
 			return fmt.Sprintf("report %d = (off %d, state %d, code %d), want (off %d, state %d, code %d)",
 				i, g[i].Offset, g[i].State, g[i].Code, want[i].Offset, want[i].State, want[i].Code)
+		case want[i].Score != g[i].Score:
+			return fmt.Sprintf("report %d (off %d, state %d): score %d, want %d",
+				i, g[i].Offset, g[i].State, g[i].Score, want[i].Score)
 		}
 	}
 	return ""

@@ -43,7 +43,8 @@ func Shrink(spec *NFASpec, input []byte, fails func(*NFASpec, []byte) bool) (*NF
 			cand := spec.clone()
 			cand.States = append(cand.States[:q], cand.States[q+1:]...)
 			var edges [][2]int32
-			for _, e := range cand.Edges {
+			var weights []int32
+			for i, e := range cand.Edges {
 				if int(e[0]) == q || int(e[1]) == q {
 					continue
 				}
@@ -54,20 +55,49 @@ func Shrink(spec *NFASpec, input []byte, fails func(*NFASpec, []byte) bool) (*NF
 					e[1]--
 				}
 				edges = append(edges, e)
+				if cand.scored() {
+					weights = append(weights, cand.Weights[i])
+				}
 			}
-			cand.Edges = edges
+			cand.Edges, cand.Weights = edges, weights
 			if try(cand, input) {
 				spec = cand
 				changed = true
 			}
 		}
-		// Remove edges.
+		// Remove edges (with their weight, when scored).
 		for i := len(spec.Edges) - 1; i >= 0; i-- {
 			cand := spec.clone()
 			cand.Edges = append(cand.Edges[:i], cand.Edges[i+1:]...)
+			if cand.scored() {
+				cand.Weights = append(cand.Weights[:i], cand.Weights[i+1:]...)
+			}
 			if try(cand, input) {
 				spec = cand
 				changed = true
+			}
+		}
+		// Simplify scores: drop the weights entirely (unscore the spec), or
+		// failing that zero individual weights — a score-dependent failure
+		// shrinks to the minimal set of nonzero weights it needs.
+		if spec.scored() {
+			cand := spec.clone()
+			cand.Weights = nil
+			if try(cand, input) {
+				spec = cand
+				changed = true
+			} else {
+				for i := range spec.Weights {
+					if spec.Weights[i] == 0 {
+						continue
+					}
+					cand := spec.clone()
+					cand.Weights[i] = 0
+					if try(cand, input) {
+						spec = cand
+						changed = true
+					}
+				}
 			}
 		}
 		// Simplify states: drop label symbols and non-essential flags.

@@ -111,6 +111,18 @@ type Config struct {
 	// internal/core/speculate.go and the Speculation experiment.
 	Speculate bool
 
+	// Scored enables per-transition score tracking (the scored-NFA sequence
+	// alignment model; see engine.Scorer): every engine the run creates
+	// tracks best-path scores, reports carry them, flows inherit exact entry
+	// scores from the golden boundaries, and Result gains BestScore.
+	// Modelled cycles are unchanged — scores ride on the flows the machinery
+	// already runs. validate() forces DisableConvergence on and
+	// AbsorbDeactivation off: both merges compare frontiers score-blind, and
+	// two flows with equal frontiers can carry different score vectors, so
+	// merging could lose the best score. (The zero-frontier deactivation
+	// check is unaffected: a dead flow carries no scores.)
+	Scored bool
+
 	// AbsorbDeactivation kills a flow whose enumeration activity has been
 	// absorbed by the always-active baseline: at that instant its full
 	// hardware vector equals the ASG flow's, and equal vectors evolve
@@ -192,6 +204,13 @@ func (c *Config) validate() error {
 	}
 	if c.Mode == ModeSFA && c.Speculate {
 		return fmt.Errorf("core: Mode=sfa is incompatible with Speculate (speculation predicts boundaries instead of composing mappings)")
+	}
+	if c.Scored {
+		// Score-blind flow merges are inexact (see the Scored field docs);
+		// forcing them off is trivially exact and keeps serial/parallel
+		// modelled-cycle parity.
+		c.DisableConvergence = true
+		c.AbsorbDeactivation = false
 	}
 	return nil
 }

@@ -54,6 +54,13 @@ type flowRun struct {
 	// save and the round-0 probe compares fill it in place instead of
 	// allocating a fresh sorted slice per round (the SVC copies on Save).
 	ctxBuf []nfa.StateID
+	// scoreBuf (scored runs only) carries the flow's best-path scores across
+	// TDM rounds, parallel to the sorted context the flow last saved to the
+	// SVC: the engine pool hands flows different engines round to round, so
+	// scores travel with the flow, exactly like the context itself. Seeded
+	// by seedSegment with the golden boundary scores; nil for the ASG flow
+	// (baseline paths start at score 0 by definition).
+	scoreBuf []int64
 }
 
 // segmentResult aggregates one segment's functional and timing outcomes.
@@ -423,7 +430,11 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	// engine's own baseline-skip fast path stays off. (It could never fire
 	// anyway: this loop checks Dead() before every step.)
 	engine.SetBaselineSkip(e, false)
-	e.Reset(ctx)
+	if p.Cfg.Scored {
+		engine.ResetScoredOf(e, ctx, f.scoreBuf)
+	} else {
+		e.Reset(ctx)
+	}
 	t0 := e.Transitions()
 	emit := func(r engine.Report) { f.reports = append(f.reports, r) }
 	var trace []snapshot
@@ -508,6 +519,9 @@ func (p *Plan) runFlowRound(seg *segmentResult, f *flowRun, input []byte, e engi
 	// gone from the hot loop.
 	f.ctxBuf = appendFrontierSorted(e, f.ctxBuf)
 	seg.svc.Save(f.svcID, f.ctxBuf, e.Fingerprint())
+	if p.Cfg.Scored {
+		f.scoreBuf = engine.AppendScoresOf(e, f.ctxBuf, f.scoreBuf[:0])
+	}
 	f.trans += e.Transitions() - t0
 	return trace
 }

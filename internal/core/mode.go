@@ -103,6 +103,9 @@ func (flowMode) seedSegment(p *Plan, seg *segmentResult, bounds []engine.Boundar
 		}
 		seed := dropAllInput(sortedIDs(spec.Seed), p.NFA)
 		f.svcID = seg.svc.AllocOverflow(seed, fingerprintOf(seed, p.NFA))
+		if p.Cfg.Scored {
+			f.scoreBuf = entryScores(bounds[seg.Index-1], seed)
+		}
 		for _, ui := range spec.Units {
 			f.attrib = append(f.attrib, attribEntry{
 				CC:   sp.Units[ui].CC,
@@ -180,6 +183,9 @@ func (sfaMode) seedSegment(p *Plan, seg *segmentResult, bounds []engine.Boundary
 		// Copy the seed: the SVC owns its context and the plan's unit
 		// seeds are shared across executions of the same Plan.
 		f.svcID = seg.svc.AllocOverflow(slices.Clone(c.seed), c.fp)
+		if p.Cfg.Scored {
+			f.scoreBuf = entryScores(bounds[seg.Index-1], c.seed)
+		}
 		for _, ui := range c.units {
 			f.attrib = append(f.attrib, attribEntry{
 				CC:   sp.Units[ui].CC,
@@ -249,6 +255,28 @@ func (sfaMode) finalize(p *Plan, segs []*segmentResult, bounds []engine.Boundary
 			return
 		}
 	}
+}
+
+// entryScores returns the entry-score vector for a flow seed (sorted, no
+// all-input states), drawn from the golden boundary: seed states the golden
+// run had enabled at the cut inherit their exact best-path scores, so every
+// boundary-crossing path resumes with the true sequential score. Seed states
+// the golden run did NOT have enabled score 0 — they only exist in false
+// flows (or false units), whose reports the truth filter drops, so the value
+// is observably irrelevant; 0 keeps the vector deterministic. Both slices
+// are sorted, so this is one merge walk.
+func entryScores(b engine.Boundary, seed []nfa.StateID) []int64 {
+	scores := make([]int64, len(seed))
+	j := 0
+	for i, q := range seed {
+		for j < len(b.Enabled) && b.Enabled[j] < q {
+			j++
+		}
+		if j < len(b.Enabled) && b.Enabled[j] == q && b.Scores != nil {
+			scores[i] = b.Scores[j]
+		}
+	}
+	return scores
 }
 
 // sfaExit adds one finished segment's true exit states to dst: the

@@ -77,9 +77,18 @@ type Plan struct {
 }
 
 // newEngine creates one execution engine of the configured backend kind,
-// sharing the plan's match tables.
+// sharing the plan's match tables. Scored runs remap score-less backends
+// (lazy DFA, meta) to the adaptive engine and switch score tracking on.
 func (p *Plan) newEngine() engine.Engine {
-	return engine.New(p.Cfg.Engine, p.NFA, p.tables)
+	kind := p.Cfg.Engine
+	if p.Cfg.Scored {
+		kind = engine.ScoringKind(kind)
+	}
+	e := engine.New(kind, p.NFA, p.tables)
+	if p.Cfg.Scored {
+		engine.SetScoring(e, true)
+	}
+	return e
 }
 
 // NewPlan runs the pre-processing pipeline of §3.5: choose the cut symbol

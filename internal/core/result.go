@@ -58,9 +58,16 @@ type Result struct {
 	Golden engine.Result
 
 	// Reports is the composed, deduplicated output — provably equal to the
-	// sequential run's (Correct is the check's outcome).
+	// sequential run's (Correct is the check's outcome; under Config.Scored
+	// the check also covers every report's score, since SameReports compares
+	// scores and unscored runs carry all-zero scores).
 	Reports []engine.Report
 	Correct bool
+
+	// BestScore is the maximum report score of a scored run (Config.Scored),
+	// meaningful only when Reports is non-empty — scores may be negative, so
+	// 0 is not a sentinel. Always 0 for unscored runs.
+	BestScore int64
 
 	BaselineCycles ap.Cycles // sequential AP: one symbol per cycle + host report scan
 	TotalCycles    ap.Cycles // PAP completion time (after the golden-execution bound)
@@ -165,7 +172,7 @@ func (p *Plan) Execute(input []byte) (*Result, error) {
 func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error) {
 	res := &Result{Plan: p, Mode: p.Cfg.Mode, IdealSpeedup: float64(p.Segments)}
 	golden, bounds, goldenPos, err := engine.RunWithBoundariesEngineContext(ctx, p.NFA, input, p.Cuts, p.Cfg.Engine, p.tables, 0,
-		engine.RunOpts{DisableBaselineSkip: p.Cfg.DisableBaselineSkip})
+		engine.RunOpts{DisableBaselineSkip: p.Cfg.DisableBaselineSkip, Scored: p.Cfg.Scored})
 	if err != nil {
 		// Aborted before any segment ran: report the golden execution's
 		// own position as whole-input progress.
@@ -186,6 +193,7 @@ func (p *Plan) ExecuteContext(ctx context.Context, input []byte) (*Result, error
 		// Nothing to parallelize: PAP degenerates to the baseline.
 		res.Reports = engine.DedupeReports(append([]engine.Report(nil), golden.Reports...))
 		res.Correct = true
+		res.BestScore, _ = engine.BestReportScore(res.Reports)
 		res.TotalCycles, res.RawTotalCycles = res.BaselineCycles, res.BaselineCycles
 		res.Speedup, res.IdealSpeedup = 1, 1
 		res.TransitionRatio = 1
@@ -403,6 +411,7 @@ func (p *Plan) compose(res *Result, segs []*segmentResult) {
 	}
 	res.Reports = engine.DedupeReports(out)
 	res.Correct = engine.SameReports(res.Reports, res.Golden.Reports)
+	res.BestScore, _ = engine.BestReportScore(res.Reports)
 }
 
 // aggregate fills the whole-run metrics from per-segment results.

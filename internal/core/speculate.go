@@ -55,7 +55,14 @@ func (p *Plan) runSpeculative(seg *segmentResult, input []byte,
 		t0 := e.Transitions()
 		e.SetBaseline(false)
 		engine.SetBaselineSkip(e, false) // skipping is core's job (see runFlowRound)
-		e.Reset(boundary.Enabled)
+		if p.Cfg.Scored {
+			// The golden boundary carries exact best-path scores for every
+			// enabled state; seeding with them makes the re-run's reports
+			// score-exact just like enumeration flows (see entryScores).
+			engine.ResetScoredOf(e, boundary.Enabled, boundary.Scores)
+		} else {
+			e.Reset(boundary.Enabled)
+		}
 		emit := func(r engine.Report) { rerun.reports = append(rerun.reports, r) }
 		bs, _ := e.(engine.BatchStepper)
 		for i := seg.Start; i < seg.End; {

@@ -44,6 +44,12 @@ type Adaptive struct {
 	since    int // steps since the last switch (rate limit)
 	seedBuf  []nfa.StateID
 
+	// Score tracking (see Scorer): the concrete engines hold the scores;
+	// the adaptive layer only propagates the switch and carries the score
+	// vector across representation switches via scoreBuf.
+	scoring  bool
+	scoreBuf []int64
+
 	// Baseline-skip fast path (see StepBatch): the adaptive engine skips
 	// at its own level so a dead frontier never pays a representation
 	// switch just to reach the bit engine's scanner.
@@ -78,6 +84,26 @@ func NewAdaptive(n *nfa.NFA, tab *Tables) *Adaptive {
 func (a *Adaptive) Reset(seed []nfa.StateID) {
 	a.cur.Reset(seed)
 	a.since = adaptiveHoldSteps
+}
+
+// SetScoring switches score tracking (see Scorer) on both representations.
+func (a *Adaptive) SetScoring(on bool) {
+	a.scoring = on
+	a.sparse.SetScoring(on)
+	if a.bit != nil {
+		a.bit.SetScoring(on)
+	}
+}
+
+// ResetScored is Reset with per-seed entry scores (see Scorer).
+func (a *Adaptive) ResetScored(seed []nfa.StateID, scores []int64) {
+	a.cur.(Scorer).ResetScored(seed, scores)
+	a.since = adaptiveHoldSteps
+}
+
+// FrontierScore returns the best-path score of enabled state q.
+func (a *Adaptive) FrontierScore(q nfa.StateID) int64 {
+	return a.cur.(Scorer).FrontierScore(q)
 }
 
 // SetBaseline switches baseline injection; see Sparse.SetBaseline.
@@ -202,6 +228,7 @@ func (a *Adaptive) switchTo(dense bool) {
 		if a.bit == nil {
 			a.bit = NewBit(a.n, a.tab)
 			a.bit.SetBaselineSkip(a.skipOn)
+			a.bit.SetScoring(a.scoring)
 		}
 		to = a.bit
 	} else {
@@ -209,7 +236,14 @@ func (a *Adaptive) switchTo(dense bool) {
 	}
 	a.seedBuf = a.cur.AppendFrontier(a.seedBuf[:0])
 	to.SetBaseline(a.baseline)
-	to.Reset(a.seedBuf)
+	if a.scoring {
+		// Carry the score vector across the representation switch: read the
+		// frontier's scores out of the old engine, seed the new one with them.
+		a.scoreBuf = AppendScoresOf(a.cur, a.seedBuf, a.scoreBuf[:0])
+		to.(Scorer).ResetScored(a.seedBuf, a.scoreBuf)
+	} else {
+		to.Reset(a.seedBuf)
+	}
 	a.cur = to
 	a.dense = dense
 	a.switches++

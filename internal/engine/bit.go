@@ -140,6 +140,13 @@ type Bit struct {
 	skip    *prefilter.ClassScanner
 	skipOn  bool
 	skipped int64
+
+	// Score tracking (see Scorer): per-state arrays parallel to the enabled
+	// and scratch bit vectors, swapped alongside them each step. A slot is
+	// valid only while its bit is set, so stale values are never read.
+	scoring  bool
+	scoreCur []int64
+	scoreNxt []int64
 }
 
 // NewBit returns a Bit engine at the start configuration, sharing tab.
@@ -168,11 +175,43 @@ func NewBit(n *nfa.NFA, tab *Tables) *Bit {
 
 // Reset replaces the enabled vector with the given seed states.
 func (e *Bit) Reset(seed []nfa.StateID) {
+	e.ResetScored(seed, nil)
+}
+
+// SetScoring switches score tracking (see Scorer).
+func (e *Bit) SetScoring(on bool) {
+	e.scoring = on
+	if on && e.scoreCur == nil {
+		e.scoreCur = make([]int64, e.n.Len())
+		e.scoreNxt = make([]int64, e.n.Len())
+	}
+}
+
+// ResetScored is Reset with per-seed entry scores (see Scorer). scores may
+// be nil; ignored unless scoring is on.
+func (e *Bit) ResetScored(seed []nfa.StateID, scores []int64) {
 	e.enabled.Reset()
-	for _, q := range seed {
+	for i, q := range seed {
+		if e.scoring {
+			var sc int64
+			if scores != nil {
+				sc = scores[i]
+			}
+			if !e.enabled.Test(int(q)) || sc > e.scoreCur[q] {
+				e.scoreCur[q] = sc
+			}
+		}
 		e.enabled.Set(int(q))
 	}
 	e.enabled.AndNot(e.allIn)
+}
+
+// FrontierScore returns the best-path score of enabled state q.
+func (e *Bit) FrontierScore(q nfa.StateID) int64 {
+	if !e.scoring || e.allIn.Test(int(q)) {
+		return 0
+	}
+	return e.scoreCur[q]
 }
 
 // SetBaseline switches baseline injection; see Sparse.SetBaseline.
@@ -180,6 +219,10 @@ func (e *Bit) SetBaseline(on bool) { e.baseline = on }
 
 // Step consumes one symbol at the given offset. emit may be nil.
 func (e *Bit) Step(sym byte, off int64, emit EmitFunc) {
+	if e.scoring {
+		e.stepScored(sym, off, emit)
+		return
+	}
 	// State match phase: fired = (enabled ∪ allInput) ∩ match[sym].
 	fired := e.firedBs
 	fired.Copy(e.enabled)
@@ -206,6 +249,52 @@ func (e *Bit) Step(sym byte, off int64, emit EmitFunc) {
 	})
 	next.AndNot(e.allIn)
 	e.scratch, e.enabled = e.enabled, next
+}
+
+// stepScored is Step with score propagation — the scored twin of Step,
+// kept separate so the unscored path (and the vectorized StepBatch kernel)
+// stays score-free. Scores live in per-state arrays keyed by the frontier
+// bitset: scoreCur is valid where enabled is set, scoreNxt is built where
+// next is set, and the arrays swap with the vectors.
+func (e *Bit) stepScored(sym byte, off int64, emit EmitFunc) {
+	fired := e.firedBs
+	fired.Copy(e.enabled)
+	if e.baseline {
+		fired.Or(e.allIn)
+	}
+	fired.And(e.tab.Match(sym))
+	next := e.scratch
+	next.Reset()
+	n := e.n
+	cur, nxt := e.scoreCur, e.scoreNxt
+	fired.ForEach(func(i int) bool {
+		q := nfa.StateID(i)
+		var base int64
+		if !e.allIn.Test(i) {
+			base = cur[q]
+		}
+		st := n.State(q)
+		if st.Flags&nfa.Report != 0 && emit != nil {
+			emit(Report{Offset: off, State: q, Code: st.ReportCode, Score: base})
+		}
+		succ := n.Succ(q)
+		w := n.SuccScores(q)
+		e.trans += int64(len(succ))
+		for si, c := range succ {
+			cand := base
+			if w != nil {
+				cand += int64(w[si])
+			}
+			if !next.Test(int(c)) || cand > nxt[c] {
+				nxt[c] = cand
+			}
+			next.Set(int(c))
+		}
+		return true
+	})
+	next.AndNot(e.allIn)
+	e.scratch, e.enabled = e.enabled, next
+	e.scoreCur, e.scoreNxt = nxt, cur
 }
 
 // batchSymbols is the maximum number of symbols one StepBatch kernel
@@ -256,6 +345,29 @@ func (e *Bit) StepBatch(input []byte, off int64, emit EmitFunc) (consumed int, s
 		if n := e.skipAhead(input); n > 0 {
 			return n, 0, 0
 		}
+	}
+	if e.scoring {
+		// Score tracking runs through the scalar scored step; the vectorized
+		// kernel below stays score-free so the unscored hot path is untouched.
+		// The dead-frontier skip above remains exact: skipped symbols fire
+		// nothing, so no score can change.
+		k := len(input)
+		if k > batchSymbols {
+			k = batchSymbols
+		}
+		for j := 0; j < k; j++ {
+			e.stepScored(input[j], off+int64(j), emit)
+			l := e.enabled.Count()
+			sumFrontier += int64(l)
+			if l > maxFrontier {
+				maxFrontier = l
+			}
+			consumed++
+			if l == 0 {
+				break
+			}
+		}
+		return consumed, sumFrontier, maxFrontier
 	}
 	k := len(input)
 	if k > batchSymbols {

@@ -264,11 +264,14 @@ var (
 )
 
 // Report is one output event: reporting state State (carrying rule
-// identifier Code) fired on the symbol at Offset.
+// identifier Code) fired on the symbol at Offset. Score is the firing
+// state's best-path score at fire time when the producing engine tracks
+// scores (see Scorer), 0 otherwise.
 type Report struct {
 	Offset int64
 	State  nfa.StateID
 	Code   int32
+	Score  int64
 }
 
 // EmitFunc receives report events as they happen.
@@ -298,6 +301,15 @@ type Sparse struct {
 	epoch      int32
 	fp         uint64 // XOR of Key over frontier
 	trans      int64
+
+	// Score tracking (see Scorer): two per-state arrays swapped each Step —
+	// a state can be both a frontier member and a child in the same step
+	// (self-loops), so in-place updates would read half-written values.
+	// Validity is gated by frontier membership (mark/epoch): a stale slot is
+	// never read, so pool reuse needs no clearing beyond ResetScored.
+	scoring  bool
+	scoreCur []int64
+	scoreNxt []int64
 }
 
 // NewSparse returns an engine positioned at the automaton's start
@@ -330,21 +342,61 @@ func (e *Sparse) SetBaseline(on bool) { e.baseline = on }
 // in the seed are dropped: they are implicitly always enabled). Duplicates
 // in seed are removed. The transition counter is preserved.
 func (e *Sparse) Reset(seed []nfa.StateID) {
+	e.ResetScored(seed, nil)
+}
+
+// SetScoring switches score tracking (see Scorer).
+func (e *Sparse) SetScoring(on bool) {
+	e.scoring = on
+	if on && e.scoreCur == nil {
+		e.scoreCur = make([]int64, e.n.Len())
+		e.scoreNxt = make([]int64, e.n.Len())
+	}
+}
+
+// ResetScored is Reset with per-seed entry scores (see Scorer). scores may
+// be nil; ignored unless scoring is on.
+func (e *Sparse) ResetScored(seed []nfa.StateID, scores []int64) {
 	e.epoch++
 	e.frontier = e.frontier[:0]
 	e.fp = 0
-	for _, q := range seed {
-		if e.isAllInput[q] || e.mark[q] == e.epoch {
+	for i, q := range seed {
+		var sc int64
+		if e.scoring && scores != nil {
+			sc = scores[i]
+		}
+		if e.isAllInput[q] {
+			continue
+		}
+		if e.mark[q] == e.epoch {
+			if e.scoring && sc > e.scoreCur[q] {
+				e.scoreCur[q] = sc
+			}
 			continue
 		}
 		e.mark[q] = e.epoch
 		e.frontier = append(e.frontier, q)
 		e.fp ^= Key(q)
+		if e.scoring {
+			e.scoreCur[q] = sc
+		}
 	}
+}
+
+// FrontierScore returns the best-path score of enabled state q.
+func (e *Sparse) FrontierScore(q nfa.StateID) int64 {
+	if !e.scoring || e.isAllInput[q] {
+		return 0
+	}
+	return e.scoreCur[q]
 }
 
 // Step consumes one symbol at the given input offset. emit may be nil.
 func (e *Sparse) Step(sym byte, off int64, emit EmitFunc) {
+	if e.scoring {
+		e.stepScored(sym, off, emit)
+		return
+	}
 	e.epoch++
 	next := e.next[:0]
 	fired := e.fired[:0]
@@ -379,6 +431,64 @@ func (e *Sparse) Step(sym byte, off int64, emit EmitFunc) {
 		}
 	}
 	e.next, e.frontier = e.frontier, next
+	e.fired = fired
+	e.fp = fp
+}
+
+// stepScored is Step with score propagation: the scored twin of the loop
+// above, kept separate so the unscored path stays score-free. On firing,
+// state q contributes base+weight to each child's next score (base is q's
+// current score, 0 for all-input states), and children reached by several
+// parents keep the maximum.
+func (e *Sparse) stepScored(sym byte, off int64, emit EmitFunc) {
+	e.epoch++
+	next := e.next[:0]
+	fired := e.fired[:0]
+	var fp uint64
+	n := e.n
+	cur, nxt := e.scoreCur, e.scoreNxt
+	process := func(q nfa.StateID, base int64) {
+		st := n.State(q)
+		if !st.Label.Test(sym) {
+			return
+		}
+		fired = append(fired, q)
+		if st.Flags&nfa.Report != 0 && emit != nil {
+			emit(Report{Offset: off, State: q, Code: st.ReportCode, Score: base})
+		}
+		succ := n.Succ(q)
+		w := n.SuccScores(q)
+		e.trans += int64(len(succ))
+		for i, c := range succ {
+			if e.isAllInput[c] {
+				continue
+			}
+			cand := base
+			if w != nil {
+				cand += int64(w[i])
+			}
+			if e.mark[c] == e.epoch {
+				if cand > nxt[c] {
+					nxt[c] = cand
+				}
+				continue
+			}
+			e.mark[c] = e.epoch
+			next = append(next, c)
+			fp ^= Key(c)
+			nxt[c] = cand
+		}
+	}
+	for _, q := range e.frontier {
+		process(q, cur[q])
+	}
+	if e.baseline {
+		for _, q := range n.AllInputStates() {
+			process(q, 0)
+		}
+	}
+	e.next, e.frontier = e.frontier, next
+	e.scoreCur, e.scoreNxt = nxt, cur
 	e.fired = fired
 	e.fp = fp
 }

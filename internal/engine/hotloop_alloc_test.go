@@ -3,6 +3,8 @@ package engine
 import (
 	"bytes"
 	"testing"
+
+	"pap/internal/nfa"
 )
 
 // TestStepBatchAllocs pins the vectorized batch kernel at zero allocations
@@ -26,6 +28,36 @@ func TestStepBatchAllocs(t *testing.T) {
 	run() // warm-up: lazy tables, CSR arrays, skip scanner
 	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
 		t.Fatalf("StepBatch allocates %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// TestScoringOffAllocs pins the unscored hot path at zero allocations with
+// the scoring machinery compiled in: even on a *scored* automaton (edge
+// weights present), an engine that never enables score tracking must touch
+// no score arrays and allocate nothing per pass.
+func TestScoringOffAllocs(t *testing.T) {
+	b := nfa.NewBuilder("scored-fanout")
+	root := b.AddState(nfa.ClassOf('a'), nfa.AllInput)
+	for i := 0; i < 256; i++ {
+		id := b.AddReportState(nfa.ClassOf('a'), 0, int32(i))
+		b.AddScoredEdge(root, id, int32(i%7-3))
+	}
+	n := b.MustBuild()
+	if !n.Scored() {
+		t.Fatal("automaton should be scored")
+	}
+	e := NewBit(n, NewTables(n))
+	input := bytes.Repeat([]byte("aaaaaaaz"), 64)
+	emit := func(Report) {}
+	run := func() {
+		for i := 0; i < len(input); {
+			c, _, _ := e.StepBatch(input[i:], int64(i), emit)
+			i += c
+		}
+	}
+	run() // warm-up: lazy tables, CSR arrays, skip scanner
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("scoring-off StepBatch allocates %.1f objects per pass, want 0", allocs)
 	}
 }
 

@@ -39,6 +39,10 @@ type Result struct {
 	// Cache reports the lazy-DFA state-cache counters, zero for backends
 	// without one.
 	Cache CacheStats
+	// BestScore is the maximum report Score of a scored run (see
+	// RunOpts.Scored); meaningful only when Reports is non-empty (scores
+	// may be negative, so 0 is not a sentinel). Always 0 for unscored runs.
+	BestScore int64
 }
 
 // RunOpts tunes the run loops.
@@ -53,6 +57,30 @@ type RunOpts struct {
 	// even on engines with the baseline-skip fast path — the ablation the
 	// conformance harness uses to prove the fast path exact.
 	DisableBaselineSkip bool
+	// Scored enables per-transition score tracking (see Scorer): the engine
+	// kind is remapped through ScoringKind (lazy DFA and meta have no score
+	// channel), reports carry scores, Result.BestScore is filled, and the
+	// literal prefilter is never used — it is only report-exact, and a
+	// dropped doomed frontier could carry the best score. The always-exact
+	// class and baseline skips stay on: a skipped symbol fires nothing, so
+	// no score can change.
+	Scored bool
+}
+
+// engineFor builds the run-loop engine honouring opts: kind remapping,
+// score tracking, and the baseline-skip ablation.
+func engineFor(n *nfa.NFA, kind Kind, tab *Tables, opts RunOpts) Engine {
+	if opts.Scored {
+		kind = ScoringKind(kind)
+	}
+	e := New(kind, n, tab)
+	if opts.Scored {
+		SetScoring(e, true)
+	}
+	if opts.DisableBaselineSkip {
+		SetBaselineSkip(e, false)
+	}
+	return e
 }
 
 // Run executes the automaton over the whole input with the default (Auto)
@@ -70,7 +98,7 @@ func RunEngine(n *nfa.NFA, input []byte, kind Kind, tab *Tables) Result {
 // skipFrom returns the next offset the engine must actually step from
 // position i, given a dead frontier, or i when no skip applies.
 func skipFrom(pf *prefilter.Prefilter, input []byte, i int, opts RunOpts) int {
-	if opts.LiteralPrefilter {
+	if opts.LiteralPrefilter && !opts.Scored {
 		return pf.NextLiteral(input, i)
 	}
 	return pf.Next(input, i)
@@ -80,10 +108,7 @@ func skipFrom(pf *prefilter.Prefilter, input []byte, i int, opts RunOpts) int {
 // prefilter (the meta backend) skip dead-frontier regions instead of
 // stepping them; Result.PrefilterSkipped counts the bytes skipped.
 func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpts) Result {
-	e := New(kind, n, tab)
-	if opts.DisableBaselineSkip {
-		SetBaselineSkip(e, false)
-	}
+	e := engineFor(n, kind, tab, opts)
 	pf := PrefilterOf(e)
 	bs, _ := e.(BatchStepper)
 	var res Result
@@ -116,6 +141,7 @@ func RunEngineOpts(n *nfa.NFA, input []byte, kind Kind, tab *Tables, opts RunOpt
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
 	res.BaselineSkippedBytes = BaselineSkippedOf(e)
+	res.BestScore, _ = BestReportScore(res.Reports)
 	return res
 }
 
@@ -136,10 +162,7 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 	if every <= 0 {
 		every = ctxCheckEvery
 	}
-	e := New(kind, n, tab)
-	if opts.DisableBaselineSkip {
-		SetBaselineSkip(e, false)
-	}
+	e := engineFor(n, kind, tab, opts)
 	pf := PrefilterOf(e)
 	bs, _ := e.(BatchStepper)
 	var res Result
@@ -158,6 +181,7 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 				res.Transitions = e.Transitions()
 				res.Cache = CacheStatsOf(e)
 				res.BaselineSkippedBytes = BaselineSkippedOf(e)
+				res.BestScore, _ = BestReportScore(res.Reports)
 				return res, i, err
 			}
 			nextPoll = i + every
@@ -182,6 +206,7 @@ func RunEngineOptsContext(ctx context.Context, n *nfa.NFA, input []byte, kind Ki
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
 	res.BaselineSkippedBytes = BaselineSkippedOf(e)
+	res.BestScore, _ = BestReportScore(res.Reports)
 	return res, len(input), nil
 }
 
@@ -192,6 +217,11 @@ type Boundary struct {
 	Pos     int
 	Fired   []nfa.StateID // fired on input[Pos-1] (copy, sorted)
 	Enabled []nfa.StateID // enabled at Pos, excluding all-input (copy, sorted)
+	// Scores holds the best-path score of each Enabled state, parallel to
+	// Enabled; nil for unscored runs. Segment flows seeded from this
+	// boundary inherit these entry scores, which is what makes
+	// boundary-crossing path scores exact under parallelization.
+	Scores []int64
 }
 
 // RunWithBoundaries is Run, additionally recording the golden state at each
@@ -217,10 +247,7 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 	if every <= 0 {
 		every = ctxCheckEvery
 	}
-	e := New(kind, n, tab)
-	if opts.DisableBaselineSkip {
-		SetBaselineSkip(e, false)
-	}
+	e := engineFor(n, kind, tab, opts)
 	pf := PrefilterOf(e)
 	bs, _ := e.(BatchStepper)
 	var res Result
@@ -250,6 +277,7 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 				res.Transitions = e.Transitions()
 				res.Cache = CacheStatsOf(e)
 				res.BaselineSkippedBytes = BaselineSkippedOf(e)
+				res.BestScore, _ = BestReportScore(res.Reports)
 				return res, bounds, i, err
 			}
 			nextPoll = i + every
@@ -280,11 +308,15 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 		}
 		res.SumFrontier += int64(l)
 		if ci < len(cuts) && cuts[ci] == i+1 {
-			bounds = append(bounds, Boundary{
+			b := Boundary{
 				Pos:     i + 1,
 				Fired:   sortedIDs(e.AppendFired(nil)),
 				Enabled: sortedIDs(e.AppendFrontier(nil)),
-			})
+			}
+			if opts.Scored {
+				b.Scores = AppendScoresOf(e, b.Enabled, nil)
+			}
+			bounds = append(bounds, b)
 			ci++
 		}
 		i++
@@ -292,6 +324,7 @@ func RunWithBoundariesEngineContext(ctx context.Context, n *nfa.NFA, input []byt
 	res.Transitions = e.Transitions()
 	res.Cache = CacheStatsOf(e)
 	res.BaselineSkippedBytes = BaselineSkippedOf(e)
+	res.BestScore, _ = BestReportScore(res.Reports)
 	return res, bounds, len(input), nil
 }
 
@@ -308,9 +341,12 @@ type ReportKey struct {
 	State  nfa.StateID
 }
 
-// DedupeReports sorts reports by (offset, state) and removes duplicates.
-// It sorts in place and allocates nothing, so hot paths (Stream.Write) can
-// call it per chunk.
+// DedupeReports sorts reports by (offset, state) and removes duplicates,
+// keeping the maximum Score among duplicates — under max-plus scoring,
+// several flows may each observe the same (offset, state) event along
+// different paths, and the event's true score is the best of them. It sorts
+// in place and allocates nothing, so hot paths (Stream.Write) can call it
+// per chunk.
 func DedupeReports(rs []Report) []Report {
 	if len(rs) <= 1 {
 		return rs
@@ -326,16 +362,20 @@ func DedupeReports(rs []Report) []Report {
 	})
 	out := rs[:1]
 	for _, r := range rs[1:] {
-		last := out[len(out)-1]
+		last := &out[len(out)-1]
 		if r.Offset != last.Offset || r.State != last.State {
 			out = append(out, r)
+		} else if r.Score > last.Score {
+			last.Score = r.Score
 		}
 	}
 	return out
 }
 
 // SameReports reports whether a and b contain the same set of
-// (offset, state) events, ignoring order and duplicates.
+// (offset, state, score) events, ignoring order and duplicates (duplicate
+// scores max-merge first, matching DedupeReports). Unscored runs carry
+// all-zero scores, so the comparison reduces to (offset, state) for them.
 func SameReports(a, b []Report) bool {
 	da := DedupeReports(append([]Report(nil), a...))
 	db := DedupeReports(append([]Report(nil), b...))
@@ -343,7 +383,7 @@ func SameReports(a, b []Report) bool {
 		return false
 	}
 	for i := range da {
-		if da[i].Offset != db[i].Offset || da[i].State != db[i].State {
+		if da[i].Offset != db[i].Offset || da[i].State != db[i].State || da[i].Score != db[i].Score {
 			return false
 		}
 	}

@@ -17,6 +17,12 @@ import (
 // because it reduces the number of connected components with little gain;
 // the workload generators make the same choice.
 func MergeCommonPrefixes(n *NFA) *NFA {
+	// Scored automata are left untouched: the merge criterion is score-blind
+	// (two states with identical parent sets can still carry different edge
+	// scores), so folding them could change best-score observables.
+	if n.Scored() {
+		return n
+	}
 	cur := n
 	for pass := 0; pass < 64; pass++ {
 		next, reduced := mergeOnce(cur)

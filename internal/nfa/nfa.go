@@ -51,6 +51,7 @@ type NFA struct {
 	name   string
 	states []State
 	succ   [][]StateID // children per state, sorted, deduplicated
+	succW  [][]int32   // per-edge scores parallel to succ; nil when unscored
 	pred   [][]StateID // parents per state, sorted, deduplicated
 
 	startOfData []StateID
@@ -90,6 +91,20 @@ func (n *NFA) Succ(q StateID) []StateID { return n.succ[q] }
 // Pred returns the parents of q. The returned slice must not be modified.
 func (n *NFA) Pred(q StateID) []StateID { return n.pred[q] }
 
+// Scored reports whether any transition carries a score annotation. Unscored
+// automata pay nothing for the scoring machinery: succW stays nil and every
+// execution path keeps its score-free fast path.
+func (n *NFA) Scored() bool { return n.succW != nil }
+
+// SuccScores returns the per-transition scores parallel to Succ(q), or nil
+// for an unscored automaton. The returned slice must not be modified.
+func (n *NFA) SuccScores(q StateID) []int32 {
+	if n.succW == nil {
+		return nil
+	}
+	return n.succW[q]
+}
+
 // StartStates returns the start-of-data states. Callers must not modify it.
 func (n *NFA) StartStates() []StateID { return n.startOfData }
 
@@ -121,6 +136,7 @@ type Builder struct {
 	name   string
 	states []State
 	succ   [][]StateID
+	succW  [][]int32 // parallel to succ; nil until the first scored edge
 }
 
 // NewBuilder returns an empty builder for an automaton with the given name.
@@ -135,6 +151,9 @@ func (b *Builder) Len() int { return len(b.states) }
 func (b *Builder) AddState(label Class, flags Flags) StateID {
 	b.states = append(b.states, State{Label: label, Flags: flags})
 	b.succ = append(b.succ, nil)
+	if b.succW != nil {
+		b.succW = append(b.succW, nil)
+	}
 	return StateID(len(b.states) - 1)
 }
 
@@ -157,6 +176,25 @@ func (b *Builder) AddEdge(from, to StateID) {
 		panic(fmt.Sprintf("nfa: AddEdge(%d,%d) out of range (%d states)", from, to, len(b.states)))
 	}
 	b.succ[from] = append(b.succ[from], to)
+	if b.succW != nil {
+		b.succW[from] = append(b.succW[from], 0)
+	}
+}
+
+// AddScoredEdge adds a transition from → to annotated with a score. Scores
+// accumulate along a path (tropical max-plus semantics: a state's score is
+// the maximum over incoming paths of the sum of edge scores); duplicate
+// edges keep the maximum score at Build time. The first scored edge switches
+// the whole automaton to scored form — unannotated edges score 0.
+func (b *Builder) AddScoredEdge(from, to StateID, score int32) {
+	if b.succW == nil {
+		b.succW = make([][]int32, len(b.states))
+		for q := range b.succ {
+			b.succW[q] = make([]int32, len(b.succ[q]))
+		}
+	}
+	b.AddEdge(from, to)
+	b.succW[from][len(b.succW[from])-1] = score
 }
 
 // Build finalizes the automaton: edges are sorted and deduplicated, parent
@@ -172,9 +210,16 @@ func (b *Builder) Build() (*NFA, error) {
 		succ:   make([][]StateID, len(b.states)),
 		pred:   make([][]StateID, len(b.states)),
 	}
+	if b.succW != nil {
+		n.succW = make([][]int32, len(b.states))
+	}
 	predCount := make([]int, len(b.states))
 	for from, children := range b.succ {
-		n.succ[from] = dedupeIDs(children)
+		if b.succW == nil {
+			n.succ[from] = dedupeIDs(children)
+		} else {
+			n.succ[from], n.succW[from] = dedupeScoredIDs(children, b.succW[from])
+		}
 		for _, to := range n.succ[from] {
 			predCount[to]++
 		}
@@ -227,6 +272,33 @@ func dedupeIDs(ids []StateID) []StateID {
 	return out
 }
 
+// dedupeScoredIDs is dedupeIDs for a scored edge list: the (id, score) pairs
+// are sorted by id and duplicate edges keep the maximum score (max-plus
+// semantics — a parallel edge can only improve a path, never worsen it).
+func dedupeScoredIDs(ids []StateID, scores []int32) ([]StateID, []int32) {
+	if len(ids) <= 1 {
+		return ids, scores
+	}
+	idx := make([]int, len(ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return ids[idx[i]] < ids[idx[j]] })
+	outIDs := make([]StateID, 0, len(ids))
+	outW := make([]int32, 0, len(ids))
+	for _, i := range idx {
+		if len(outIDs) > 0 && ids[i] == outIDs[len(outIDs)-1] {
+			if scores[i] > outW[len(outW)-1] {
+				outW[len(outW)-1] = scores[i]
+			}
+			continue
+		}
+		outIDs = append(outIDs, ids[i])
+		outW = append(outW, scores[i])
+	}
+	return outIDs, outW
+}
+
 // Union returns a new automaton containing disjoint copies of a and b
 // (their components never interact; report codes are preserved as-is, so
 // callers combining independently numbered rulesets should offset codes
@@ -241,8 +313,12 @@ func Union(a, b *NFA) *NFA {
 			bl.SetReportCode(id, s.ReportCode)
 		}
 		for q := 0; q < src.Len(); q++ {
-			for _, c := range src.succ[q] {
-				bl.AddEdge(base+StateID(q), base+c)
+			for i, c := range src.succ[q] {
+				if src.succW != nil {
+					bl.AddScoredEdge(base+StateID(q), base+c, src.succW[q][i])
+				} else {
+					bl.AddEdge(base+StateID(q), base+c)
+				}
 			}
 		}
 		return base

@@ -68,6 +68,10 @@ type automatonJSON struct {
 type matchJSON struct {
 	Code   int32 `json:"code"`
 	Offset int64 `json:"offset"`
+	// Score is present exactly on scored runs (scored=true, or a scored
+	// automaton), including legitimate zero scores; it is the match's best
+	// path score under max-plus scoring.
+	Score *int64 `json:"score,omitempty"`
 }
 
 type apStatsJSON struct {
@@ -88,27 +92,38 @@ type apStatsJSON struct {
 	SFAMappings       int64   `json:"sfa_mappings,omitempty"`
 	SFAComposeOps     int64   `json:"sfa_compose_ops,omitempty"`
 	FPCollisions      int64   `json:"fingerprint_collisions,omitempty"`
+	Scored            bool    `json:"scored,omitempty"`
+	ScoredReports     int     `json:"scored_reports,omitempty"`
 	Verified          bool    `json:"verified"`
 }
 
 type matchResponse struct {
-	Automaton  string       `json:"automaton"`
-	Mode       string       `json:"mode"`
-	Engine     string       `json:"engine"`
-	InputBytes int          `json:"input_bytes"`
-	Matches    []matchJSON  `json:"matches"`
-	ElapsedMS  float64      `json:"elapsed_ms"`
-	AP         *apStatsJSON `json:"ap,omitempty"` // parallel mode only
+	Automaton  string      `json:"automaton"`
+	Mode       string      `json:"mode"`
+	Engine     string      `json:"engine"`
+	InputBytes int         `json:"input_bytes"`
+	Matches    []matchJSON `json:"matches"`
+	// Scored reports that score tracking was on; BestScore is then the
+	// maximum match score, present only when at least one match exists
+	// (scores may be negative, so omission — not 0 — means no matches).
+	Scored    bool         `json:"scored,omitempty"`
+	BestScore *int64       `json:"best_score,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	AP        *apStatsJSON `json:"ap,omitempty"` // parallel mode only
 }
 
 type openStreamRequest struct {
 	Automaton string `json:"automaton"`
 	Engine    string `json:"engine,omitempty"` // overrides the ruleset default
+	Scored    bool   `json:"scored,omitempty"` // track per-transition scores
 }
 
 type streamWriteResponse struct {
 	Matches []matchJSON `json:"matches"`
 	Offset  int64       `json:"offset"`
+	// BestScore is the session-wide maximum match score, present only on
+	// scored sessions that have matched at least once.
+	BestScore *int64 `json:"best_score,omitempty"`
 }
 
 // abortResponse is the 503 body for a match or stream write that was
@@ -272,10 +287,16 @@ func isAbort(err error) bool {
 		errors.Is(err, context.Canceled)
 }
 
-func toMatchJSON(ms []pap.Match) []matchJSON {
+// toMatchJSON converts matches for the wire; scored runs attach each
+// match's score (a pointer so legitimate zeros survive omitempty).
+func toMatchJSON(ms []pap.Match, scored bool) []matchJSON {
 	out := make([]matchJSON, len(ms))
 	for i, m := range ms {
 		out[i] = matchJSON{Code: m.Code, Offset: m.Offset}
+		if scored {
+			sc := m.Score
+			out[i].Score = &sc
+		}
 	}
 	return out
 }
@@ -502,6 +523,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// scored=true tracks per-transition scores; scored automata always do.
+	scored := e.Automaton.Scored()
+	if v := q.Get("scored"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "scored must be a bool, got %q", v)
+			return
+		}
+		scored = scored || b
+	}
 	execCtx, cancelExec, err := s.execContext(r, q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -550,7 +581,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			s.writeAbort(w, matchErr, nil)
 			return
 		}
-		resp.Matches = toMatchJSON(ms)
+		resp.Matches = toMatchJSON(ms, scored)
 		s.countEngineSteps(eng, len(payload))
 	case "parallel":
 		cfg, err := parseParallelConfig(q, s.cfg.SerialSegments)
@@ -560,6 +591,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Engine = eng
 		cfg.Mode = execMode
+		cfg.Scoring = scored
 		var rep *pap.Report
 		if !s.dispatch(w, r, func() {
 			rep, matchErr = e.Automaton.MatchParallelContext(execCtx, payload, cfg)
@@ -574,7 +606,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusUnprocessableEntity, "parallel match: %v", matchErr)
 			return
 		}
-		resp.Matches = toMatchJSON(rep.Matches)
+		resp.Matches = toMatchJSON(rep.Matches, rep.Stats.Scored)
 		st := rep.Stats
 		resp.AP = &apStatsJSON{
 			Segments:          st.Segments,
@@ -594,6 +626,8 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			SFAMappings:       st.SFAMappings,
 			SFAComposeOps:     st.SFAComposeOps,
 			FPCollisions:      st.FingerprintCollisions,
+			Scored:            st.Scored,
+			ScoredReports:     st.ScoredReports,
 			Verified:          st.Verified,
 		}
 		s.speedupHist.Observe(st.Speedup)
@@ -614,6 +648,15 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	resp.Engine = eng.String()
 	resp.InputBytes = len(payload)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if scored {
+		resp.Scored = true
+		for _, m := range resp.Matches {
+			if m.Score != nil && (resp.BestScore == nil || *m.Score > *resp.BestScore) {
+				resp.BestScore = m.Score
+			}
+		}
+		s.scoredMatches.Add(int64(len(resp.Matches)))
+	}
 	s.countMatches(e, len(resp.Matches))
 	if resp.Matches == nil {
 		resp.Matches = []matchJSON{}
@@ -659,7 +702,12 @@ func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess, err := s.sessions.Create(e, eng)
+	var sess *Session
+	if req.Scored {
+		sess, err = s.sessions.CreateScored(e, eng)
+	} else {
+		sess, err = s.sessions.Create(e, eng)
+	}
 	if err != nil {
 		if errors.Is(err, ErrTooManySessions) {
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
@@ -764,7 +812,7 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 			}
 			countWrite()
 			s.writeAbort(w, writeErr2, func(resp *abortResponse) {
-				resp.Matches = toMatchJSON(ms)
+				resp.Matches = toMatchJSON(ms, sess.Scored)
 				resp.Offset = offset
 			})
 			return
@@ -778,7 +826,13 @@ func (s *Server) handleStreamWrite(w http.ResponseWriter, r *http.Request) {
 	s.streamBytes.Add(int64(len(chunk)))
 	s.countEngineSteps(sess.Engine, len(chunk))
 	countWrite()
-	resp := streamWriteResponse{Matches: toMatchJSON(ms), Offset: offset}
+	resp := streamWriteResponse{Matches: toMatchJSON(ms, sess.Scored), Offset: offset}
+	if sess.Scored {
+		if best, ok := sess.BestScore(); ok {
+			resp.BestScore = &best
+		}
+		s.scoredMatches.Add(int64(len(ms)))
+	}
 	if resp.Matches == nil {
 		resp.Matches = []matchJSON{}
 	}

@@ -167,6 +167,7 @@ type Server struct {
 	lazyCacheEvicts  *Counter
 	sfaMappings      *Counter
 	sfaCompositions  *Counter
+	scoredMatches    *Counter
 }
 
 // New assembles a server from the config.
@@ -217,6 +218,8 @@ func New(cfg Config) *Server {
 		"Entry-to-exit mapping flows run by SFA-mode parallel matches.", "")
 	s.sfaCompositions = m.Counter("papd_sfa_compositions_total",
 		"Boundary composition operations performed by SFA-mode parallel matches.", "")
+	s.scoredMatches = m.Counter("papd_scored_matches_total",
+		"Matches returned with per-transition scores attached (scored matches and stream writes).", "")
 	s.cancellations = make(map[string]*Counter)
 	for _, reason := range []string{"deadline", "client_gone"} {
 		s.cancellations[reason] = m.Counter("papd_match_cancellations_total",

@@ -24,6 +24,7 @@ type Session struct {
 	Automaton string
 	Version   int // registry version the session is pinned to
 	Engine    pap.EngineKind
+	Scored    bool // the stream tracks per-transition scores
 	Created   time.Time
 
 	mu        sync.Mutex
@@ -85,6 +86,13 @@ type SessionInfo struct {
 	Matches        int64     `json:"matches"`
 	ActiveStates   int       `json:"active_states"`
 	EngineSwitches int64     `json:"engine_switches"`
+	// Scored reports whether the session's stream tracks per-transition
+	// scores (opened with scored=true, or over a scored automaton).
+	Scored bool `json:"scored,omitempty"`
+	// BestScore is the maximum match score the session has seen; present
+	// only on scored sessions that have matched at least once (scores may
+	// be negative, so omission — not 0 — is the no-matches signal).
+	BestScore *int64 `json:"best_score,omitempty"`
 
 	// The backend counters below are pointers so that omission means
 	// exactly "this engine doesn't support the counter": a session on a
@@ -164,6 +172,14 @@ func (s *Session) WriteContext(ctx context.Context, chunk []byte) ([]pap.Match, 
 	return out, s.stream.Offset(), d, err
 }
 
+// BestScore returns the session's running maximum match score and whether
+// any match has been seen since creation.
+func (s *Session) BestScore() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream.BestScore()
+}
+
 // Info snapshots the session state.
 func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
@@ -181,6 +197,12 @@ func (s *Session) Info() SessionInfo {
 		Matches:        s.matches,
 		ActiveStates:   s.stream.ActiveStates(),
 		EngineSwitches: s.stream.EngineSwitches(),
+		Scored:         s.Scored,
+	}
+	if s.Scored {
+		if best, ok := s.stream.BestScore(); ok {
+			si.BestScore = &best
+		}
 	}
 	if supportsPrefilter(s.Engine) {
 		v := info.PrefilterSkippedBytes
@@ -298,6 +320,17 @@ var streamBuildHook func()
 // before paying the stream construction, and concurrent Creates racing
 // for the last slots can never overshoot the limit.
 func (m *SessionManager) Create(e *Entry, eng pap.EngineKind) (*Session, error) {
+	return m.create(e, eng, false)
+}
+
+// CreateScored is Create with per-transition score tracking forced on the
+// session's stream (pap.WithScoring); matches and session snapshots then
+// carry scores. Sessions over scored automata track regardless.
+func (m *SessionManager) CreateScored(e *Entry, eng pap.EngineKind) (*Session, error) {
+	return m.create(e, eng, true)
+}
+
+func (m *SessionManager) create(e *Entry, eng pap.EngineKind, scored bool) (*Session, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
@@ -316,13 +349,18 @@ func (m *SessionManager) Create(e *Entry, eng pap.EngineKind) (*Session, error) 
 	if streamBuildHook != nil {
 		streamBuildHook()
 	}
+	opts := []pap.StreamOption{pap.WithEngine(eng)}
+	if scored {
+		opts = append(opts, pap.WithScoring())
+	}
 	s := &Session{
 		ID:        id,
 		Automaton: e.Name,
 		Version:   e.Version,
 		Engine:    eng,
+		Scored:    scored || e.Automaton.Scored(),
 		Created:   now,
-		stream:    e.Automaton.NewStream(pap.WithEngine(eng)),
+		stream:    e.Automaton.NewStream(opts...),
 		lastUsed:  now,
 	}
 	m.mu.Lock()

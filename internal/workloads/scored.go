@@ -1,0 +1,153 @@
+package workloads
+
+// Generators beyond Table 1: scored sequence-alignment automata (the
+// scored-NFA model behind Config.Scored / pap.Match.Score) and a
+// large-ruleset stress generator. They are not part of All() — the Table 1
+// experiments iterate exactly the paper's 19 benchmarks — but Get resolves
+// them by name, so papgen/papbench and the conformance sweeps can use them.
+
+import (
+	"math/rand"
+
+	"pap/internal/nfa"
+)
+
+// Extras returns the non-Table-1 benchmarks: ScoredMotif and LargeRuleset.
+func Extras() []*Spec {
+	return []*Spec{ScoredMotif(), LargeRuleset()}
+}
+
+// BuildScoredHamming appends one (len(pattern), d) Hamming automaton whose
+// transitions carry alignment scores: every edge into a match state scores
+// matchScore and every edge into a mismatch state scores missScore
+// (typically negative). Under max-plus scoring a report's score is then
+// matchScore·(matched transitions) + missScore·(mismatched transitions)
+// along the best alignment — the classical match/mismatch scoring of
+// sequence alignment, restricted to substitutions. The lattice itself is
+// BuildHammingLattice's.
+func BuildScoredHamming(b *nfa.Builder, pattern []byte, d int, code, matchScore, missScore int32) {
+	L := len(pattern)
+	type node struct{ match, miss nfa.StateID }
+	grid := make([][]node, L+1) // grid[i][e], i in 1..L
+	for i := range grid {
+		grid[i] = make([]node, d+1)
+		for e := range grid[i] {
+			grid[i][e] = node{match: -1, miss: -1}
+		}
+	}
+	for i := 1; i <= L; i++ {
+		sym := pattern[i-1]
+		matchCls := nfa.ClassOf(sym)
+		missCls := matchCls.Negate()
+		for e := 0; e <= d && e <= i; e++ {
+			var flags nfa.Flags
+			if i == 1 {
+				flags = nfa.AllInput
+			}
+			if e <= i-1 {
+				id := b.AddState(matchCls, flags)
+				if i == L {
+					b.SetFlags(id, nfa.Report)
+					b.SetReportCode(id, code)
+				}
+				grid[i][e].match = id
+			}
+			if e >= 1 {
+				id := b.AddState(missCls, flags)
+				if i == L {
+					b.SetFlags(id, nfa.Report)
+					b.SetReportCode(id, code)
+				}
+				grid[i][e].miss = id
+			}
+		}
+	}
+	connect := func(from nfa.StateID, i, e int) {
+		if i > L || from < 0 {
+			return
+		}
+		if e <= d {
+			if to := grid[i][e].match; to >= 0 {
+				b.AddScoredEdge(from, to, matchScore)
+			}
+		}
+		if e+1 <= d {
+			if to := grid[i][e+1].miss; to >= 0 {
+				b.AddScoredEdge(from, to, missScore)
+			}
+		}
+	}
+	for i := 1; i < L; i++ {
+		for e := 0; e <= d; e++ {
+			connect(grid[i][e].match, i+1, e)
+			connect(grid[i][e].miss, i+1, e)
+		}
+	}
+}
+
+// ScoredMotif is an ANMLZoo-style scored benchmark: Hamming (28,3) DNA
+// motif automata like the Hamming benchmark, with +2 match / -3 mismatch
+// alignment scores on every transition. A report's score separates exact
+// motif hits (54 = 27·2) from 1-, 2- and 3-error alignments (49, 44, 39),
+// so best-score runs rank approximate occurrences — the scored-NFA
+// sequence-alignment model end to end.
+func ScoredMotif() *Spec {
+	return &Spec{
+		Name:               "ScoredMotif",
+		Suite:              "Scored",
+		Description:        "Scored Hamming-distance (28,3) DNA motif automata (+2 match / -3 mismatch)",
+		DisableCompression: true, // scored automata are never prefix-merged
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(49, scale, 3)
+			b := nfa.NewBuilder("ScoredMotif")
+			for p := 0; p < k; p++ {
+				BuildScoredHamming(b, randDNA(rng, 28), 3, int32(p), 2, -3)
+			}
+			return b.Build()
+		},
+		trace: alphaTrace(dna),
+	}
+}
+
+// LargeRuleset is a planning stress generator: thousands of independent
+// literal-chain components over the printable alphabet (full scale ≈ 4000
+// patterns ≈ 48k states), far beyond any Table 1 ruleset's component
+// count. It exercises enumeration-unit packing, SVC sizing and report
+// attribution at scale; the chains themselves are trivial.
+func LargeRuleset() *Spec {
+	return &Spec{
+		Name:        "LargeRuleset",
+		Suite:       "Scored",
+		Description: "4000 independent literal chains over printable bytes",
+		build: func(scale float64, seed int64) (*nfa.NFA, error) {
+			rng := rand.New(rand.NewSource(seed))
+			k := scaleCount(4000, scale, 50)
+			b := nfa.NewBuilder("LargeRuleset")
+			for p := 0; p < k; p++ {
+				lit := make([]byte, 8+rng.Intn(9))
+				for i := range lit {
+					lit[i] = printable[rng.Intn(len(printable))]
+				}
+				prev := nfa.StateID(-1)
+				for i := 0; i < len(lit); i++ {
+					var flags nfa.Flags
+					if i == 0 {
+						flags = nfa.AllInput
+					}
+					id := b.AddState(nfa.ClassOf(lit[i]), flags)
+					if i == len(lit)-1 {
+						b.SetFlags(id, nfa.Report)
+						b.SetReportCode(id, int32(p))
+					}
+					if prev >= 0 {
+						b.AddEdge(prev, id)
+					}
+					prev = id
+				}
+			}
+			return b.Build()
+		},
+		trace: networkTrace,
+	}
+}

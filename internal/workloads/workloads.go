@@ -76,9 +76,10 @@ func All() []*Spec {
 	}
 }
 
-// Get returns the benchmark with the given name.
+// Get returns the benchmark with the given name, searching Table 1 (All)
+// and the non-Table-1 extras (Extras).
 func Get(name string) (*Spec, error) {
-	for _, s := range All() {
+	for _, s := range append(All(), Extras()...) {
 		if s.Name == name {
 			return s, nil
 		}

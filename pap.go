@@ -191,9 +191,14 @@ type Rule struct {
 }
 
 // Match is one pattern occurrence: rule Code matched ending at byte Offset.
+// Score is the best path score of the match under max-plus scoring (the
+// maximum, over all paths reaching the reporting state at this offset, of
+// the sum of edge scores; see Builder.ConnectScored). It is always 0 on
+// automata without scored transitions.
 type Match struct {
 	Code   int32
 	Offset int64
+	Score  int64
 }
 
 // Automaton is an immutable compiled ruleset.
@@ -343,6 +348,11 @@ func (a *Automaton) Stats() Stats {
 	}
 }
 
+// Scored reports whether any transition of the automaton carries a score
+// (built via Builder.ConnectScored). Scored automata track Match.Score on
+// every sequential and parallel match.
+func (a *Automaton) Scored() bool { return a.n.Scored() }
+
 // RangeOf returns the size of symbol sym's range: the number of states
 // reachable on sym from anywhere in the automaton (§3.1 of the paper).
 // Small-range symbols make good input partition points.
@@ -408,8 +418,11 @@ func (a *Automaton) MatchWithInfo(input []byte, k EngineKind) ([]Match, EngineIn
 }
 
 func (a *Automaton) matchInfo(input []byte, k EngineKind) ([]Match, EngineInfo) {
+	// Scored automata track scores on every sequential match (scoring is a
+	// property of the automaton, not a per-call option); the run layer
+	// drops the literal prefilter when scoring (see engine.RunOpts.Scored).
 	res := engine.RunEngineOpts(a.n, input, k.toKind(), a.tables(),
-		engine.RunOpts{LiteralPrefilter: true})
+		engine.RunOpts{LiteralPrefilter: true, Scored: a.n.Scored()})
 	return toMatches(engine.DedupeReports(res.Reports)), infoOf(res)
 }
 
@@ -433,7 +446,7 @@ func (a *Automaton) MatchWithContext(ctx context.Context, input []byte, k Engine
 // processed prefix).
 func (a *Automaton) MatchWithInfoContext(ctx context.Context, input []byte, k EngineKind) ([]Match, EngineInfo, error) {
 	res, pos, err := engine.RunEngineOptsContext(ctx, a.n, input, k.toKind(), a.tables(), 0,
-		engine.RunOpts{LiteralPrefilter: true})
+		engine.RunOpts{LiteralPrefilter: true, Scored: a.n.Scored()})
 	if err != nil {
 		return nil, infoOf(res), &AbortError{
 			Cause:    err,
@@ -446,7 +459,7 @@ func (a *Automaton) MatchWithInfoContext(ctx context.Context, input []byte, k En
 func toMatches(reports []engine.Report) []Match {
 	out := make([]Match, len(reports))
 	for i, r := range reports {
-		out[i] = Match{Code: r.Code, Offset: r.Offset}
+		out[i] = Match{Code: r.Code, Offset: r.Offset, Score: r.Score}
 	}
 	return out
 }
@@ -496,6 +509,15 @@ type Config struct {
 	// mappings instead). Matches are identical either way; modelled
 	// cycles and flow statistics differ. Incompatible with Speculate.
 	Mode ExecMode
+	// Scoring forces per-transition score tracking during parallel
+	// matching even when the automaton carries no scored transitions
+	// (every score is then 0 — useful for ablation and conformance
+	// testing). Automata built with scored transitions
+	// (Builder.ConnectScored) always track scores, with or without this
+	// flag. Scoring disables the score-blind convergence/absorption flow
+	// merges, so flow statistics and modelled cycles differ from an
+	// unscored run; matches and their exactness guarantee are unchanged.
+	Scoring bool
 }
 
 // DefaultConfig returns the paper's operating point for a board size.
@@ -534,6 +556,7 @@ func (c Config) toCore() core.Config {
 	cfg.Speculate = c.Speculate
 	cfg.Engine = c.Engine.toKind()
 	cfg.Mode = c.Mode.toMode()
+	cfg.Scored = c.Scoring
 	return cfg
 }
 
@@ -584,8 +607,20 @@ type RunStats struct {
 	// path (convergence, deactivation, SFA class grouping and boundary
 	// cross-checks). Collisions are handled exactly, never merged.
 	FingerprintCollisions int64
+	// Scored reports whether per-transition score tracking was enabled for
+	// this run (Config.Scoring, or an automaton with scored transitions).
+	Scored bool
+	// ScoredReports is the number of matches carrying tracked scores:
+	// len(Matches) when Scored, 0 otherwise.
+	ScoredReports int
+	// BestScore is the maximum Match.Score of the run. Meaningful only
+	// when Scored and at least one match exists — scores may be negative,
+	// so 0 is not a no-matches sentinel.
+	BestScore int64
 	// Verified confirms the composed matches equalled sequential matching
-	// (always true; a false value would be a library bug).
+	// (always true; a false value would be a library bug). Under Scored it
+	// additionally confirms every match's score equalled the sequential
+	// run's.
 	Verified bool
 }
 
@@ -642,7 +677,11 @@ func (a *Automaton) MatchParallel(input []byte, cfg Config) (*Report, error) {
 // in *AbortError with per-segment progress. No goroutine or pooled flow
 // worker outlives the call.
 func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg Config) (*Report, error) {
-	res, err := core.RunContext(ctx, a.n, input, cfg.toCore())
+	coreCfg := cfg.toCore()
+	if a.n.Scored() {
+		coreCfg.Scored = true // scored automata always track (see Config.Scoring)
+	}
+	res, err := core.RunContext(ctx, a.n, input, coreCfg)
 	if err != nil {
 		var ab *core.Aborted
 		if errors.As(err, &ab) {
@@ -658,6 +697,10 @@ func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg 
 	}
 	if err := res.CheckCorrect(); err != nil {
 		return nil, err
+	}
+	scoredReports := 0
+	if coreCfg.Scored {
+		scoredReports = len(res.Reports)
 	}
 	return &Report{
 		Matches: toMatches(res.Reports),
@@ -679,6 +722,9 @@ func (a *Automaton) MatchParallelContext(ctx context.Context, input []byte, cfg 
 			SFAMappings:           res.SFAMappings,
 			SFAComposeOps:         res.SFAComposeOps,
 			FingerprintCollisions: res.FingerprintCollisions,
+			Scored:                coreCfg.Scored,
+			ScoredReports:         scoredReports,
+			BestScore:             res.BestScore,
 			Verified:              res.Correct,
 		},
 	}, nil

@@ -45,6 +45,16 @@ type Stream struct {
 	reports []engine.Report
 	emit    engine.EmitFunc
 	closed  bool
+	// scored: the engine tracks best-path scores (see WithScoring). The
+	// score vector lives in the engine alongside the frontier, so scores
+	// carry across Write calls exactly like enabled states do — a match
+	// whose path straddles any number of chunk boundaries scores
+	// identically to the same input matched in one piece.
+	scored bool
+	// best/bestValid track the maximum match score seen since creation or
+	// Reset (valid flag, not a sentinel: scores may be negative).
+	best      int64
+	bestValid bool
 }
 
 // StreamOption configures NewStream.
@@ -55,11 +65,25 @@ func WithEngine(k EngineKind) StreamOption {
 	return func(s *Stream) { s.kind = k }
 }
 
+// WithScoring forces per-transition score tracking even when the automaton
+// carries no scored transitions (every score is then 0 — useful for
+// ablation and conformance testing). Streams over scored automata
+// (Builder.ConnectScored) always track, with or without this option.
+// Scoring remaps EngineLazyDFA and EngineMeta to EngineAuto — those
+// backends do not track scores — which also drops the prefilter that rides
+// on EngineMeta.
+func WithScoring() StreamOption {
+	return func(s *Stream) { s.scored = true }
+}
+
 // NewStream returns a matcher positioned at input offset 0.
 func (a *Automaton) NewStream(opts ...StreamOption) *Stream {
 	s := &Stream{a: a, kind: EngineAuto}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if a.n.Scored() {
+		s.scored = true
 	}
 	s.eng = s.newEngine()
 	s.pf = engine.PrefilterOf(s.eng)
@@ -69,11 +93,31 @@ func (a *Automaton) NewStream(opts ...StreamOption) *Stream {
 }
 
 func (s *Stream) newEngine() engine.Engine {
+	kind := s.kind.toKind()
+	if s.scored {
+		kind = engine.ScoringKind(kind)
+	}
 	var tab *engine.Tables
-	if s.kind != EngineSparse {
+	if kind != engine.SparseKind {
 		tab = s.a.tables()
 	}
-	return engine.New(s.kind.toKind(), s.a.n, tab)
+	e := engine.New(kind, s.a.n, tab)
+	if s.scored {
+		engine.SetScoring(e, true)
+	}
+	return e
+}
+
+// collect dedupes the accumulated raw reports into scratch and folds them
+// into the running best score.
+func (s *Stream) collect() []Match {
+	for _, r := range engine.DedupeReports(s.reports) {
+		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset, Score: r.Score})
+		if !s.bestValid || r.Score > s.best {
+			s.best, s.bestValid = r.Score, true
+		}
+	}
+	return s.scratch
 }
 
 // Write consumes the next chunk and returns the matches it completed, in
@@ -117,10 +161,7 @@ func (s *Stream) Write(chunk []byte) []Match {
 		s.offset++
 		i++
 	}
-	for _, r := range engine.DedupeReports(s.reports) {
-		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
-	}
-	return s.scratch
+	return s.collect()
 }
 
 // streamCtxEvery is the symbol interval between context polls in
@@ -179,9 +220,7 @@ func (s *Stream) WriteContext(ctx context.Context, chunk []byte) ([]Match, error
 		s.offset++
 		i++
 	}
-	for _, r := range engine.DedupeReports(s.reports) {
-		s.scratch = append(s.scratch, Match{Code: r.Code, Offset: r.Offset})
-	}
+	s.collect()
 	if ctxErr != nil {
 		return s.scratch, &AbortError{
 			Cause: ctxErr,
@@ -214,6 +253,16 @@ func (s *Stream) ActiveStates() int { return s.eng.FrontierLen() }
 
 // Engine returns the stream's configured backend.
 func (s *Stream) Engine() EngineKind { return s.kind }
+
+// Scored reports whether the stream tracks per-transition scores
+// (WithScoring, or an automaton with scored transitions).
+func (s *Stream) Scored() bool { return s.scored }
+
+// BestScore returns the maximum Match.Score seen since creation or the
+// last Reset and whether any match has been seen at all — scores may be
+// negative, so the boolean (not 0) is the no-matches signal. On unscored
+// streams every score is 0, so it degenerates to a has-matched indicator.
+func (s *Stream) BestScore() (int64, bool) { return s.best, s.bestValid }
 
 // EngineSwitches returns the number of sparse⇄dense representation
 // switches the backend has made (always 0 for fixed backends; for
@@ -255,4 +304,5 @@ func (s *Stream) Reset() {
 	s.skipped = 0
 	s.scratch = s.scratch[:0]
 	s.closed = false
+	s.best, s.bestValid = 0, false
 }
